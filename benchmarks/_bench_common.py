@@ -1,0 +1,35 @@
+"""Shared scenario base and output helper for the benchmark harness.
+
+(Separate from conftest.py so benches import it under a stable name.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+from repro.experiments.fattree_eval import FatTreeScenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The shared fat-tree evaluation grid (k=4; paper link parameters; scaled
+#: flow sizes; 0.5 s of simulated time per cell).
+BENCH_BASE = FatTreeScenario(duration=0.5, seed=1)
+
+#: Incast cells run longer so enough jobs complete for stable JCT
+#: statistics (a job that trips one 200 ms RTO already eats 40% of the
+#: short horizon).
+BENCH_INCAST = dataclasses.replace(BENCH_BASE, duration=1.5)
+
+
+def base_for(pattern: str) -> FatTreeScenario:
+    """The bench scenario base appropriate for a traffic pattern."""
+    return BENCH_INCAST if pattern == "incast" else BENCH_BASE
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,29 @@
+"""Fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+scaled-down defaults of DESIGN.md §4; shared scenario settings and the
+output helper live in ``_bench_common``.  The fat-tree benches share one
+scenario grid through the driver's in-process cache, so e.g. Table 1 and
+Figs. 8/10/11 pay for each simulation once per pytest session.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are their own
+    statistics; repeating a deterministic 10-second run adds nothing)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

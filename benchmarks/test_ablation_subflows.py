@@ -1,0 +1,46 @@
+"""Ablation: how many subflows does each coupling need? (paper §5.2.2)
+
+Raiciu et al. found LIA needs ~8 subflows for good fat-tree utilization;
+the paper's claim is that XMP gets there with 2 (only ~10% more from 4).
+We sweep subflow counts under the Permutation pattern.
+"""
+
+import dataclasses
+
+from _bench_common import BENCH_BASE, emit
+
+from repro.experiments.fattree_eval import run_fattree
+
+COUNTS = (1, 2, 4, 8)
+
+
+def test_ablation_subflow_count(once):
+    def sweep():
+        table = {}
+        for scheme in ("xmp", "lia"):
+            for count in COUNTS:
+                scenario = dataclasses.replace(
+                    BENCH_BASE, scheme=scheme, subflows=count,
+                    pattern="permutation", duration=0.4,
+                )
+                run = run_fattree(scenario)
+                table[(scheme, count)] = run.mean_goodput_bps(scenario.label()) / 1e6
+        return table
+
+    table = once(sweep)
+    lines = ["Mean goodput (Mbps) vs subflow count, Permutation pattern:",
+             "  subflows:   " + "".join(f"{c:>9}" for c in COUNTS)]
+    for scheme in ("xmp", "lia"):
+        row = "".join(f"{table[(scheme, c)]:9.1f}" for c in COUNTS)
+        lines.append(f"  {scheme.upper():<10}{row}")
+    emit("ablation_subflows", "\n".join(lines))
+
+    # XMP-2 already near its ceiling: going to 4 adds little (paper: ~10%).
+    gain_xmp_2_to_4 = table[("xmp", 4)] / table[("xmp", 2)]
+    assert gain_xmp_2_to_4 < 1.4
+    # LIA profits much more from extra subflows (paper: >40% from 2 to 4).
+    gain_lia_2_to_4 = table[("lia", 4)] / table[("lia", 2)]
+    assert gain_lia_2_to_4 > gain_xmp_2_to_4
+    # Multipath beats single path for both couplings.
+    assert table[("xmp", 2)] > table[("xmp", 1)]
+    assert table[("lia", 4)] > table[("lia", 1)]

@@ -1,0 +1,51 @@
+"""Extension: OLIA vs LIA on the fat tree (the paper's §7 pointer).
+
+The paper notes TraSh may share LIA's non-Pareto-optimality and that
+Khalili et al.'s OLIA could improve it.  This bench runs the Random
+pattern with LIA-2 and OLIA-2 and compares mean goodput and per-flow
+fairness — establishing the baseline an OLIA-style XMP refinement would
+have to beat.
+"""
+
+import dataclasses
+
+from _bench_common import BENCH_BASE, emit
+
+from repro.experiments.fattree_eval import run_fattree
+from repro.metrics.fairness import jain_index
+
+
+def test_extension_olia_vs_lia(once):
+    def run_pair():
+        results = {}
+        for scheme in ("lia", "olia"):
+            scenario = dataclasses.replace(
+                BENCH_BASE, scheme=scheme, subflows=2, pattern="random",
+                duration=0.4,
+            )
+            run = run_fattree(scenario)
+            label = scenario.label()
+            records = run.all_records(label)
+            goodputs = [r.goodput_bps(run.duration) for r in records]
+            results[scheme] = (
+                run.mean_goodput_bps(label) / 1e6,
+                jain_index(goodputs),
+                run.total_dropped,
+            )
+        return results
+
+    results = once(run_pair)
+    lines = ["Random pattern, 2 subflows each:"]
+    for scheme, (goodput, jain, drops) in results.items():
+        lines.append(
+            f"  {scheme.upper():<6} goodput {goodput:6.1f} Mbps   "
+            f"Jain {jain:.3f}   drops {drops}"
+        )
+    emit("extension_olia", "\n".join(lines))
+
+    # Both loss-driven couplings are in the same performance class; OLIA
+    # must at least not collapse relative to LIA.
+    lia_goodput = results["lia"][0]
+    olia_goodput = results["olia"][0]
+    assert olia_goodput > 0.6 * lia_goodput
+    assert results["olia"][1] > 0.3  # sane fairness

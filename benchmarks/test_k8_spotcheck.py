@@ -1,0 +1,44 @@
+"""Spot-check at the paper's fabric scale: a k=8 fat tree (128 hosts).
+
+The standing experiments run at k=4 for wall-clock reasons; this bench
+runs one short Permutation burst at the paper's k=8 so the headline
+ordering (XMP-2 > DCTCP, both using the paper's K=10/beta=4 on 1 Gbps
+links) is verified on the fabric where inter-pod pairs really have 16
+equal-cost paths.
+"""
+
+import dataclasses
+
+from _bench_common import BENCH_BASE, emit
+
+from repro.experiments.fattree_eval import run_fattree
+
+K8 = dataclasses.replace(
+    BENCH_BASE,
+    k=8,
+    duration=0.15,
+    perm_size_min=500_000,
+    perm_size_max=4_000_000,
+)
+
+
+def test_k8_spotcheck(once):
+    def run_pair():
+        xmp = run_fattree(dataclasses.replace(K8, scheme="xmp", subflows=2))
+        dctcp = run_fattree(dataclasses.replace(K8, scheme="dctcp", subflows=1))
+        return xmp, dctcp
+
+    xmp, dctcp = once(run_pair)
+    lines = [
+        "k=8 fat tree (128 hosts), Permutation, 0.15 s:",
+        f"  XMP-2  mean goodput {xmp.mean_goodput_bps('XMP-2') / 1e6:7.1f} Mbps  "
+        f"(drops {xmp.total_dropped}, marks {xmp.total_marked}, "
+        f"{xmp.events} events)",
+        f"  DCTCP  mean goodput {dctcp.mean_goodput_bps('DCTCP') / 1e6:7.1f} Mbps  "
+        f"(drops {dctcp.total_dropped}, marks {dctcp.total_marked}, "
+        f"{dctcp.events} events)",
+    ]
+    emit("k8_spotcheck", "\n".join(lines))
+
+    assert xmp.mean_goodput_bps("XMP-2") > dctcp.mean_goodput_bps("DCTCP")
+    assert xmp.total_dropped == 0  # marking keeps k=8 queues loss-free too

@@ -1,0 +1,6 @@
+"""Legacy shim for environments whose setuptools predates PEP 660 editable
+installs; all real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,250 @@
+"""Command-line interface: run any of the paper's experiments directly.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig4 --beta 4 --time-scale 0.2
+    python -m repro fig6 --beta 6
+    python -m repro fig7 --beta 5 --threshold 15 --time-scale 0.05
+    python -m repro fig1 --scheme dctcp --threshold 10 --interval 1.0
+    python -m repro table1 --duration 0.3 --patterns permutation random
+    python -m repro jct --duration 1.0
+    python -m repro rtt --pattern random
+    python -m repro utilization --pattern permutation
+
+Every subcommand prints the same rows/series its benchmark counterpart
+asserts on; the CLI exists so a single experiment can be explored (and
+its knobs swept) without the pytest machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.fattree_eval import FatTreeScenario
+from repro.experiments.fig1_convergence import Fig1Config, run_fig1
+from repro.experiments.fig4_traffic_shifting import Fig4Config, run_fig4
+from repro.experiments.fig6_fairness import Fig6Config, run_fig6
+from repro.experiments.fig7_rate_compensation import Fig7Config, run_fig7
+from repro.experiments.fig9_jct_cdf import run_jct
+from repro.experiments.fig10_rtt import run_fig10
+from repro.experiments.fig11_utilization import run_fig11
+from repro.experiments.reporting import format_cdf, format_table
+from repro.experiments.table1_goodput import run_table1
+from repro.experiments.table2_coexistence import run_table2
+
+EXPERIMENTS = (
+    "fig1", "fig4", "fig6", "fig7",
+    "table1", "table2", "jct", "rtt", "utilization", "export",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from the XMP paper (CoNEXT'13).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p = sub.add_parser("fig1", help="Fig. 1: convergence on one bottleneck")
+    p.add_argument("--scheme", choices=("dctcp", "bos"), default="dctcp")
+    p.add_argument("--threshold", type=int, default=10, help="marking K")
+    p.add_argument("--beta", type=float, default=2.0)
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between joins/leaves (paper: 5)")
+
+    p = sub.add_parser("fig4", help="Fig. 4: traffic shifting testbed")
+    p.add_argument("--beta", type=float, default=4.0)
+    p.add_argument("--time-scale", type=float, default=0.2)
+
+    p = sub.add_parser("fig6", help="Fig. 6: fairness vs subflow count")
+    p.add_argument("--beta", type=float, default=4.0)
+    p.add_argument("--time-scale", type=float, default=0.2)
+
+    p = sub.add_parser("fig7", help="Fig. 7: torus rate compensation")
+    p.add_argument("--beta", type=float, default=4.0)
+    p.add_argument("--threshold", type=int, default=20, help="marking K")
+    p.add_argument("--time-scale", type=float, default=0.05)
+
+    for name, help_text in (
+        ("table1", "Table 1: goodput per scheme per pattern"),
+        ("table2", "Table 2: XMP coexistence"),
+        ("jct", "Fig. 9 / Table 3: incast job completion times"),
+        ("rtt", "Fig. 10: RTT by category"),
+        ("utilization", "Fig. 11: utilization by layer"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--duration", type=float, default=0.4)
+        p.add_argument("--k", type=int, default=4, help="fat-tree arity")
+        p.add_argument("--seed", type=int, default=1)
+        if name == "table1":
+            p.add_argument("--patterns", nargs="+",
+                           default=["permutation", "random", "incast"])
+        if name in ("rtt", "utilization"):
+            p.add_argument("--pattern", default="permutation")
+
+    p = sub.add_parser(
+        "export",
+        help="run one fat-tree scenario and dump JSON/CSV artifacts",
+    )
+    p.add_argument("directory", help="output directory")
+    p.add_argument("--scheme", default="xmp")
+    p.add_argument("--subflows", type=int, default=2)
+    p.add_argument("--pattern", default="permutation",
+                   choices=("permutation", "random", "incast"))
+    p.add_argument("--duration", type=float, default=0.4)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _scenario(args: argparse.Namespace) -> FatTreeScenario:
+    return FatTreeScenario(duration=args.duration, k=args.k, seed=args.seed)
+
+
+def _run_fig1(args) -> str:
+    result = run_fig1(Fig1Config(
+        scheme=args.scheme, beta=args.beta,
+        marking_threshold=args.threshold, interval=args.interval,
+    ))
+    rows = [
+        (f"{start:.1f}-{end:.1f}s", active, f"{jain:.4f}")
+        for start, end, active, jain in result.segments
+    ]
+    table = format_table(["segment", "active flows", "Jain"], rows,
+                         title=f"Fig. 1 ({args.scheme}, K={args.threshold})")
+    return f"{table}\nworst multi-flow Jain: {result.worst_jain():.4f}"
+
+
+def _run_fig4(args) -> str:
+    result = run_fig4(Fig4Config(beta=args.beta, time_scale=args.time_scale))
+    rows = []
+    for phase, (start, end) in result.phases().items():
+        rows.append(
+            (
+                phase,
+                f"{result.mean_normalized('flow2-1', start, end):.3f}",
+                f"{result.mean_normalized('flow2-2', start, end):.3f}",
+            )
+        )
+    return format_table(
+        ["phase", "subflow 1", "subflow 2"], rows,
+        title=f"Fig. 4 (beta={args.beta}): Flow 2 normalized rates",
+    )
+
+
+def _run_fig6(args) -> str:
+    result = run_fig6(Fig6Config(beta=args.beta, time_scale=args.time_scale))
+    s = args.time_scale
+    rows = [
+        (f"flow {flow}",
+         f"{result.flow_rate_between(flow, 21 * s, 25 * s) / 1e6:.1f} Mbps")
+        for flow in (1, 2, 3, 4)
+    ]
+    table = format_table(["flow", "rate (20-25s window)"], rows,
+                         title=f"Fig. 6 (beta={args.beta})")
+    return f"{table}\nJain index: {result.fairness_all_flows():.4f}"
+
+
+def _run_fig7(args) -> str:
+    result = run_fig7(Fig7Config(
+        beta=args.beta, marking_threshold=args.threshold,
+        time_scale=args.time_scale,
+    ))
+    s = args.time_scale
+    rows = []
+    for i in range(1, 6):
+        for j in (1, 2):
+            name = f"flow{i}-{j}"
+            rows.append(
+                (
+                    name,
+                    f"{result.normalized_mean(name, 20 * s, 25 * s):.3f}",
+                    f"{result.normalized_mean(name, 40 * s, 45 * s):.3f}",
+                    f"{result.normalized_mean(name, 65 * s, 70 * s):.3f}",
+                )
+            )
+    return format_table(
+        ["subflow", "pre (20-25s)", "congested (40-45s)", "L3 closed (65-70s)"],
+        rows,
+        title=f"Fig. 7 (beta={args.beta}, K={args.threshold})",
+    )
+
+
+def _run_table1(args) -> str:
+    result = run_table1(_scenario(args), patterns=tuple(args.patterns))
+    return result.format()
+
+
+def _run_table2(args) -> str:
+    return run_table2(_scenario(args)).format()
+
+
+def _run_jct(args) -> str:
+    result = run_jct(_scenario(args))
+    lines = [result.format_table3(), "", "CDFs:"]
+    for label, jcts in result.jcts.items():
+        lines.append(f"  {label:<7} {format_cdf(jcts, scale=1e3, unit='ms')}")
+    return "\n".join(lines)
+
+
+def _run_rtt(args) -> str:
+    return run_fig10(args.pattern, _scenario(args)).format()
+
+
+def _run_utilization(args) -> str:
+    return run_fig11(args.pattern, _scenario(args)).format()
+
+
+def _run_export(args) -> str:
+    from repro.experiments.export import export_fattree_result
+    from repro.experiments.fattree_eval import run_fattree
+
+    scenario = FatTreeScenario(
+        scheme=args.scheme,
+        subflows=args.subflows,
+        pattern=args.pattern,
+        duration=args.duration,
+        k=args.k,
+        seed=args.seed,
+    )
+    result = run_fattree(scenario)
+    out = export_fattree_result(result, args.directory)
+    return (
+        f"wrote {out}/summary.json, flows.csv, jct.csv, rtt_samples.csv, "
+        f"links.csv  (mean goodput "
+        f"{result.mean_goodput_bps() / 1e6:.1f} Mbps)"
+    )
+
+
+_RUNNERS = {
+    "fig1": _run_fig1,
+    "fig4": _run_fig4,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "jct": _run_jct,
+    "rtt": _run_rtt,
+    "utilization": _run_utilization,
+    "export": _run_export,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    print(_RUNNERS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

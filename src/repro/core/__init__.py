@@ -1,0 +1,16 @@
+"""The paper's contribution: BOS, TraSh and their composition XMP.
+
+* :mod:`repro.core.bos` — Buffer Occupancy Suppression, the per-subflow
+  ECN window law (paper §2.1, Algorithm 1).
+* :mod:`repro.core.trash` — Traffic Shifting, the coupling that tunes each
+  subflow's growth parameter ``delta`` (paper §2.2).
+* :mod:`repro.core.utility` — the closed-form model behind both: Eqs. 1-9
+  (marking-threshold bound, equilibrium marking probability, utility
+  functions, the TraSh fixed point).
+"""
+
+from repro.core.bos import BosCC
+from repro.core.trash import TraSh
+from repro.core import analysis, fluid, utility
+
+__all__ = ["BosCC", "TraSh", "utility", "fluid", "analysis"]

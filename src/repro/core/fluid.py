@@ -1,0 +1,173 @@
+"""Fluid-model integration of the paper's Eq. 2.
+
+The paper derives BOS's equilibrium (Eq. 3) from the window ODE
+
+.. math::
+
+    \\frac{dw(t)}{dt} = \\frac{\\delta}{T}(1 - p(t))
+                        - \\frac{w(t)}{T\\beta} p(t)
+
+This module integrates that ODE — for one flow against a given marking
+probability, and for N flows sharing one marked link with the queue and
+marking process modelled explicitly — so the packet-level simulator can
+be validated against the model it was designed from (see
+``benchmarks/test_ablation_fluid.py`` and the tests).
+
+The shared-link model: windows ``w_i`` evolve per Eq. 2; the queue
+integrates ``sum_i w_i/T_i - C`` (never below zero); the *round-trip
+time* seen by every flow is ``T_i = base_rtt_i + q/C`` (queueing delay);
+and the per-round marking probability rises steeply once the queue
+crosses K — we use the probability that an M/D/1-ish instantaneous queue
+exceeds K, approximated by a logistic in ``(q - K)`` whose width is a
+couple of packets, which matches the threshold rule's behaviour in the
+packet simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+#: Packet size used to convert packets <-> bits (paper: 1500 B MTU).
+PACKET_BITS = 1500 * 8
+
+
+def bos_window_ode(
+    w: float, p: float, delta: float, beta: float, rtt: float
+) -> float:
+    """Right-hand side of Eq. 2: dw/dt given marking probability ``p``."""
+    if rtt <= 0:
+        raise ValueError(f"rtt must be positive, got {rtt}")
+    return (delta / rtt) * (1.0 - p) - (w / (rtt * beta)) * p
+
+
+def integrate_single_flow(
+    p_of_t: Callable[[float], float],
+    duration: float,
+    dt: float = 1e-4,
+    w0: float = 1.0,
+    delta: float = 1.0,
+    beta: float = 4.0,
+    rtt: float = 100e-6,
+) -> List[float]:
+    """Euler-integrate Eq. 2 for one flow against a marking schedule.
+
+    Returns the window trajectory sampled at every step.  At a constant
+    ``p`` the trajectory converges to Eq. 3's fixed point
+    ``w* = delta*beta*(1-p)/p``.
+    """
+    if duration <= 0 or dt <= 0:
+        raise ValueError("duration and dt must be positive")
+    steps = int(duration / dt)
+    w = w0
+    trajectory = []
+    for i in range(steps):
+        t = i * dt
+        p = p_of_t(t)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"marking probability out of range: {p}")
+        w += dt * bos_window_ode(w, p, delta, beta, rtt)
+        w = max(w, 1.0)
+        trajectory.append(w)
+    return trajectory
+
+
+def threshold_marking_probability(
+    queue_packets: float, threshold: float, width: float = 2.0
+) -> float:
+    """Smooth stand-in for 'at least one mark this round' near a K-queue.
+
+    Below ``K`` the instantaneous queue rarely crosses the threshold
+    within a round; above it, almost every round sees a mark.  A logistic
+    of width ~2 packets reproduces that knife edge while keeping the ODE
+    well behaved.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return 1.0 / (1.0 + math.exp(-(queue_packets - threshold) / width))
+
+
+@dataclass
+class FluidLinkResult:
+    """Trajectories from :func:`integrate_shared_link`."""
+
+    times: List[float] = field(default_factory=list)
+    windows: List[List[float]] = field(default_factory=list)  # per flow
+    queue: List[float] = field(default_factory=list)
+
+    def steady_state_windows(self, tail_fraction: float = 0.3) -> List[float]:
+        """Mean window per flow over the trailing ``tail_fraction``."""
+        if not self.times:
+            return []
+        start = int(len(self.times) * (1.0 - tail_fraction))
+        return [
+            sum(series[start:]) / max(len(series) - start, 1)
+            for series in self.windows
+        ]
+
+    def steady_state_queue(self, tail_fraction: float = 0.3) -> float:
+        """Mean queue over the trailing ``tail_fraction`` (packets)."""
+        if not self.queue:
+            return 0.0
+        start = int(len(self.queue) * (1.0 - tail_fraction))
+        return sum(self.queue[start:]) / max(len(self.queue) - start, 1)
+
+
+def integrate_shared_link(
+    num_flows: int,
+    capacity_bps: float,
+    base_rtt: float,
+    threshold: float,
+    duration: float,
+    dt: float = 2e-5,
+    beta: float = 4.0,
+    deltas: Sequence[float] = (),
+    w0: float = 2.0,
+) -> FluidLinkResult:
+    """N BOS flows sharing one marked link, in the fluid limit.
+
+    Windows follow Eq. 2; the queue integrates excess arrival; RTTs are
+    base propagation plus queueing delay; marking follows
+    :func:`threshold_marking_probability`.
+    """
+    if num_flows < 1:
+        raise ValueError("need at least one flow")
+    if capacity_bps <= 0 or base_rtt <= 0:
+        raise ValueError("capacity and base_rtt must be positive")
+    flow_deltas = list(deltas) if deltas else [1.0] * num_flows
+    if len(flow_deltas) != num_flows:
+        raise ValueError("deltas must match num_flows")
+
+    capacity_pps = capacity_bps / PACKET_BITS
+    windows = [w0] * num_flows
+    queue = 0.0
+    result = FluidLinkResult(windows=[[] for _ in range(num_flows)])
+    steps = int(duration / dt)
+    for i in range(steps):
+        rtt = base_rtt + queue / capacity_pps
+        p = threshold_marking_probability(queue, threshold)
+        arrival = 0.0
+        for f in range(num_flows):
+            arrival += windows[f] / rtt
+            windows[f] += dt * bos_window_ode(
+                windows[f], p, flow_deltas[f], beta, rtt
+            )
+            windows[f] = max(windows[f], 1.0)
+        queue = max(0.0, queue + dt * (arrival - capacity_pps))
+        if i % 16 == 0:
+            result.times.append(i * dt)
+            result.queue.append(queue)
+            for f in range(num_flows):
+                result.windows[f].append(windows[f])
+    return result
+
+
+__all__ = [
+    "PACKET_BITS",
+    "bos_window_ode",
+    "integrate_single_flow",
+    "threshold_marking_probability",
+    "FluidLinkResult",
+    "integrate_shared_link",
+]

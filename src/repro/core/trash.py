@@ -1,0 +1,93 @@
+"""TraSh — Traffic Shifting (paper §2.2).
+
+TraSh couples the subflows of one MPTCP flow by recomputing each subflow's
+growth parameter once per round:
+
+.. math::
+
+    \\delta_{s,r} = \\frac{T_{s,r} \\cdot x_{s,r}}{T_s \\cdot y_s}
+                  = \\frac{cwnd_r}{total\\_rate \\cdot min\\_rtt}
+
+(Eq. 9; the second form is Algorithm 1's ``delta[r]``, using
+``x_{s,r} = cwnd_r / srtt_r`` so that ``T_{s,r} x_{s,r} = cwnd_r``).
+
+Because :math:`\\delta_{s,r}` shrinks on paths whose share of the total
+rate is small relative to their RTT (more congested → smaller window →
+smaller rate) and grows on less congested ones, each flow drifts toward
+equalizing the congestion it perceives across its paths — the paper's
+Congestion Equality Principle (Proposition 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.bos import BosCC
+
+
+class TraSh:
+    """The coupling state shared by all subflows of one XMP flow.
+
+    ``weight`` scales every subflow's delta uniformly: since a BOS flow's
+    equilibrium window is proportional to its delta (Eq. 3), a flow with
+    weight w converges to w shares of each bottleneck relative to
+    weight-1 flows — bandwidth differentiation through the same knob
+    TraSh already turns (an extension; the paper uses weight 1).
+    """
+
+    def __init__(self, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.weight = weight
+        self._controllers: List[BosCC] = []
+
+    def make_controller(self, beta: float) -> BosCC:
+        """Create a BOS controller whose delta this TraSh instance tunes."""
+        controller = BosCC(beta=beta, delta_provider=self.delta)
+        self._controllers.append(controller)
+        return controller
+
+    @property
+    def controllers(self) -> List[BosCC]:
+        return list(self._controllers)
+
+    # ------------------------------------------------------------------
+
+    def total_rate(self) -> float:
+        """Sum of ``instant_rate`` over subflows with an RTT estimate."""
+        total = 0.0
+        for controller in self._controllers:
+            sender = controller.sender
+            if sender is not None and sender.running and not sender.completed:
+                total += sender.instant_rate
+        return total
+
+    def min_rtt(self) -> Optional[float]:
+        """``min{srtt_r}`` over active subflows (the paper's ``T_s``)."""
+        best: Optional[float] = None
+        for controller in self._controllers:
+            sender = controller.sender
+            if sender is None or not sender.running or sender.completed:
+                continue
+            srtt = sender.srtt
+            if srtt is not None and srtt > 0 and (best is None or srtt < best):
+                best = srtt
+        return best
+
+    def delta(self, controller: BosCC, now: float) -> float:
+        """Eq. 9 / Algorithm 1: ``delta[r] = cwnd[r] / (total_rate * min_rtt)``.
+
+        Falls back to the uncoupled value 1.0 until every quantity is
+        measurable (TraSh initialization step 1 sets ``delta = 1``).
+        """
+        sender = controller.sender
+        if sender is None:
+            return self.weight
+        total = self.total_rate()
+        min_rtt = self.min_rtt()
+        if total <= 0.0 or min_rtt is None:
+            return self.weight
+        return self.weight * sender.cwnd / (total * min_rtt)
+
+
+__all__ = ["TraSh"]

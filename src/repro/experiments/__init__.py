@@ -1,0 +1,24 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Small-topology experiments (testbed / torus):
+
+* :mod:`repro.experiments.fig1_convergence` — Fig. 1
+* :mod:`repro.experiments.fig4_traffic_shifting` — Fig. 4
+* :mod:`repro.experiments.fig6_fairness` — Fig. 6
+* :mod:`repro.experiments.fig7_rate_compensation` — Fig. 7
+
+Fat-tree evaluation (one shared driver, cached per scenario):
+
+* :mod:`repro.experiments.fattree_eval` — the §5.2 simulation engine
+* :mod:`repro.experiments.table1_goodput`, :mod:`...fig8_goodput_dist`,
+  :mod:`...table2_coexistence`, :mod:`...fig9_jct_cdf`,
+  :mod:`...table3_jct`, :mod:`...fig10_rtt`, :mod:`...fig11_utilization`
+
+Every driver accepts a ``time_scale`` or duration knob so tests can run
+seconds-long versions while benches run the paper-scaled ones; see
+DESIGN.md §4 for the scaling rules.
+"""
+
+from repro.experiments import reporting
+
+__all__ = ["reporting"]

@@ -1,0 +1,260 @@
+"""The §5.2 fat-tree evaluation engine.
+
+One :class:`FatTreeScenario` describes a (scheme, pattern) cell of the
+paper's evaluation; :func:`run_fattree` builds the fat tree, wires the
+pattern, runs it for ``duration`` simulated seconds and returns a
+:class:`FatTreeResult` carrying everything Tables 1-3 and Figs. 8-11
+extract: per-flow records, JCTs, RTT samples per category, and per-link
+byte counters.
+
+Results are memoized per scenario within the process so the seven
+benchmark modules that share runs (Table 1 and Figs. 8/10/11 use the same
+simulations) only pay for each simulation once.
+
+Scaling note (DESIGN.md §4): defaults are k=4 and MB-scale flow sizes;
+links, delays, K, β, queue sizes, small-flow sizes and RTOmin are the
+paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.collector import RttSampler
+from repro.metrics.goodput import FlowRecord
+from repro.sim.random import RandomStreams
+from repro.topology.fattree import build_fattree
+from repro.traffic.factory import TransferFactory
+from repro.traffic.incast import IncastPattern
+from repro.traffic.permutation import PermutationPattern
+from repro.traffic.random_pattern import RandomPattern
+
+PATTERNS = ("permutation", "random", "incast")
+
+
+@dataclass(frozen=True)
+class FatTreeScenario:
+    """One cell of the paper's fat-tree evaluation."""
+
+    scheme: str = "xmp"
+    subflows: int = 2
+    pattern: str = "permutation"
+    k: int = 4
+    beta: float = 4.0
+    marking_threshold: int = 10
+    queue_capacity: int = 100
+    duration: float = 1.0
+    seed: int = 1
+    rto_min: float = 0.200
+    # Large-flow sizes (scaled; paper: 64-512 MB uniform / Pareto mean 192 MB).
+    perm_size_min: int = 2_000_000
+    perm_size_max: int = 16_000_000
+    random_mean: float = 6_000_000.0
+    random_max: float = 24_000_000.0
+    # Coexistence (Table 2): second scheme for half the hosts, or None.
+    coexist_scheme: Optional[str] = None
+    coexist_subflows: int = 2
+    rtt_sample_interval: float = 0.005
+
+    def label(self) -> str:
+        base = self.scheme.upper()
+        if self.subflows > 1:
+            base = f"{base}-{self.subflows}"
+        return base
+
+
+@dataclass
+class FatTreeResult:
+    """Everything the table/figure views need from one simulation."""
+
+    scenario: FatTreeScenario
+    #: Completed large-flow records, keyed by factory label (e.g. "XMP-2").
+    records: Dict[str, List[FlowRecord]] = field(default_factory=dict)
+    #: Records of large flows still running at the end (rate measured).
+    unfinished: Dict[str, List[FlowRecord]] = field(default_factory=dict)
+    #: Incast job completion times, seconds.
+    jcts: List[float] = field(default_factory=list)
+    #: Ages of jobs still running when the simulation ended.
+    jct_unfinished_ages: List[float] = field(default_factory=list)
+    jobs_started: int = 0
+    #: srtt samples per flow category.
+    rtt_samples: Dict[str, List[float]] = field(default_factory=dict)
+    #: (link name, layer, utilization over the run).
+    link_utilization: List[tuple] = field(default_factory=list)
+    duration: float = 0.0
+    total_marked: int = 0
+    total_dropped: int = 0
+    events: int = 0
+
+    def all_records(self, label: Optional[str] = None) -> List[FlowRecord]:
+        """Completed + unfinished records, optionally for one label."""
+        labels = [label] if label is not None else list(self.records)
+        out: List[FlowRecord] = []
+        for key in labels:
+            out.extend(self.records.get(key, []))
+            out.extend(self.unfinished.get(key, []))
+        return out
+
+    def mean_goodput_bps(self, label: Optional[str] = None) -> float:
+        """Average goodput over all (incl. unfinished) large flows."""
+        records = self.all_records(label)
+        if not records:
+            return 0.0
+        return sum(r.goodput_bps(self.duration) for r in records) / len(records)
+
+    def utilization_values(self, layer: str) -> List[float]:
+        return [u for _, l, u in self.link_utilization if l == layer]
+
+
+_CACHE: Dict[FatTreeScenario, FatTreeResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (tests use this to force fresh simulations)."""
+    _CACHE.clear()
+
+
+def run_fattree(scenario: FatTreeScenario, use_cache: bool = True) -> FatTreeResult:
+    """Run (or fetch from cache) one fat-tree scenario."""
+    if use_cache and scenario in _CACHE:
+        return _CACHE[scenario]
+    result = _run(scenario)
+    if use_cache:
+        _CACHE[scenario] = result
+    return result
+
+
+def _run(scenario: FatTreeScenario) -> FatTreeResult:
+    if scenario.pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {scenario.pattern!r}")
+    streams = RandomStreams(scenario.seed)
+    net = build_fattree(
+        k=scenario.k,
+        queue_capacity=scenario.queue_capacity,
+        marking_threshold=scenario.marking_threshold,
+    )
+    hosts = list(net.host_names)
+    rtt_sampler = RttSampler(
+        net.sim, scenario.rtt_sample_interval, until=scenario.duration
+    )
+    rtt_sampler.start(scenario.rtt_sample_interval)
+
+    main_factory = TransferFactory(
+        net,
+        scenario.scheme,
+        subflow_count=scenario.subflows,
+        beta=scenario.beta,
+        rto_min=scenario.rto_min,
+        rng=streams.stream("paths-main"),
+        rtt_sampler=rtt_sampler,
+        label=scenario.label(),
+    )
+    factories = [main_factory]
+    incast_pattern: Optional[IncastPattern] = None
+
+    if scenario.coexist_scheme is not None:
+        other_label = scenario.coexist_scheme.upper()
+        if scenario.coexist_subflows > 1:
+            other_label = f"{other_label}-{scenario.coexist_subflows}"
+        other_factory = TransferFactory(
+            net,
+            scenario.coexist_scheme,
+            subflow_count=scenario.coexist_subflows,
+            beta=scenario.beta,
+            rto_min=scenario.rto_min,
+            rng=streams.stream("paths-coexist"),
+            rtt_sampler=rtt_sampler,
+            label=other_label,
+        )
+        factories.append(other_factory)
+        # Interleave the halves: contiguous halves would land each scheme
+        # in its own pods, whose traffic never shares a queue in a fat
+        # tree — no coexistence at all.  Destinations span all hosts.
+        groups = [(main_factory, hosts[0::2]), (other_factory, hosts[1::2])]
+    else:
+        groups = [(main_factory, hosts)]
+
+    if scenario.pattern == "permutation":
+        for factory, group_hosts in groups:
+            pattern = PermutationPattern(
+                factory,
+                group_hosts,
+                size_min_bytes=scenario.perm_size_min,
+                size_max_bytes=scenario.perm_size_max,
+                rng=streams.stream(f"perm-{factory.label}"),
+            )
+            pattern.start()
+    elif scenario.pattern == "random":
+        for factory, group_hosts in groups:
+            pattern = RandomPattern(
+                factory,
+                group_hosts,
+                mean_bytes=scenario.random_mean,
+                max_bytes=scenario.random_max,
+                rng=streams.stream(f"rand-{factory.label}"),
+                destinations=hosts,
+            )
+            pattern.start()
+    else:  # incast
+        # Small flows are plain TCP (paper: "all the small flows use TCP").
+        small_factory = TransferFactory(
+            net,
+            "tcp",
+            subflow_count=1,
+            rto_min=scenario.rto_min,
+            rng=streams.stream("paths-small"),
+            label="TCP-SMALL",
+        )
+        incast_pattern = IncastPattern(
+            small_factory, hosts, rng=streams.stream("incast")
+        )
+        incast_pattern.start()
+        # Background large flows follow the Random pattern, source and
+        # destination never in the same rack (paper footnote 8).
+        for factory, group_hosts in groups:
+            background = RandomPattern(
+                factory,
+                group_hosts,
+                mean_bytes=scenario.random_mean,
+                max_bytes=scenario.random_max,
+                rng=streams.stream(f"bg-{factory.label}"),
+                exclude_same_rack=True,
+            )
+            background.start()
+
+    net.sim.run(until=scenario.duration)
+
+    result = FatTreeResult(scenario=scenario, duration=scenario.duration)
+    for factory in factories:
+        result.records[factory.label] = list(factory.records)
+        result.unfinished[factory.label] = factory.unfinished_records(
+            scenario.duration
+        )
+    if incast_pattern is not None:
+        result.jcts = incast_pattern.completion_times()
+        result.jct_unfinished_ages = incast_pattern.unfinished_ages(
+            scenario.duration
+        )
+        result.jobs_started = incast_pattern.jobs_started
+    result.rtt_samples = {
+        category: list(samples)
+        for category, samples in rtt_sampler.samples.items()
+    }
+    result.link_utilization = [
+        (link.name, link.layer, link.utilization(scenario.duration))
+        for link in net.links
+    ]
+    result.total_marked = net.total_marked()
+    result.total_dropped = net.total_dropped()
+    result.events = net.sim.events_processed
+    return result
+
+
+__all__ = [
+    "FatTreeScenario",
+    "FatTreeResult",
+    "run_fattree",
+    "clear_cache",
+    "PATTERNS",
+]

@@ -1,0 +1,76 @@
+"""Fig. 10 — RTT distributions by flow category.
+
+RTT (of the large flows' subflows, sampled as smoothed RTT while they
+run) is the paper's proxy for link buffer occupancy: "packet queuing
+delay predominates RTT in DCNs".  The shapes to hold, per pattern:
+
+* XMP and DCTCP keep RTTs low (marking keeps queues near K);
+* the subflow count barely affects XMP's RTT;
+* LIA's RTTs are several times larger (it fills DropTail queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.reporting import format_table
+from repro.metrics.stats import summarize
+
+#: Schemes Fig. 10 plots.
+FIG10_SCHEMES: Tuple[Tuple[str, int], ...] = (
+    ("dctcp", 1),
+    ("lia", 4),
+    ("xmp", 2),
+    ("xmp", 4),
+)
+
+CATEGORIES = ("inter-pod", "inter-rack", "inner-rack")
+
+
+@dataclass
+class Fig10Result:
+    """label -> category -> five-number RTT summary (seconds)."""
+
+    pattern: str
+    rtt: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def mean_rtt(self, label: str, category: str) -> float:
+        summary = self.rtt.get(label, {}).get(category)
+        return summary["mean"] if summary else 0.0
+
+    def format(self) -> str:
+        headers = ["Scheme"] + [f"{c} p50 (ms)" for c in CATEGORIES]
+        rows = []
+        for label, by_category in self.rtt.items():
+            row = [label]
+            for category in CATEGORIES:
+                summary = by_category.get(category)
+                row.append(f"{summary['p50'] * 1e3:.2f}" if summary else "-")
+            rows.append(row)
+        return format_table(
+            headers, rows, title=f"Fig. 10 ({self.pattern}): RTT by category"
+        )
+
+
+def run_fig10(
+    pattern: str,
+    base: FatTreeScenario = FatTreeScenario(),
+    schemes: Sequence[Tuple[str, int]] = FIG10_SCHEMES,
+) -> Fig10Result:
+    """Collect per-category RTT distributions for one pattern."""
+    result = Fig10Result(pattern=pattern)
+    for scheme, subflows in schemes:
+        scenario = replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
+        run = run_fattree(scenario)
+        label = scenario.label()
+        result.rtt[label] = {
+            category: summarize(samples)
+            for category, samples in run.rtt_samples.items()
+            if samples
+        }
+    return result
+
+
+__all__ = ["Fig10Result", "run_fig10", "FIG10_SCHEMES", "CATEGORIES"]

@@ -1,0 +1,106 @@
+"""Fig. 7 — rate compensation on the Fig. 5 torus.
+
+Five XMP flows, each with two subflows over neighbouring bottlenecks of
+the ring (capacities 0.8/1.2/2/1.5/0.5 Gbps, RTT 350 µs), start 5 s
+apart.  From 25 s, four background flows join L3 one by one (5 s apart)
+and leave one by one from 45 s; at 60 s link L3 is closed outright.  The
+run ends at 70 s.
+
+Expected shape (the "attenuated Dominos"): as L3 congests, Flow 2-2 and
+Flow 3-1 sink while their siblings 2-1 and 3-2 rise; that in turn presses
+Flow 1-2 and Flow 4-1 down a little; Flows 1-1, 4-2, 5-* barely move.
+After 45 s everything mirrors back; at 60 s the L3 subflows collapse to
+zero and their siblings jump.
+
+The paper runs (β, K) ∈ {(4, 20), (5, 15), (6, 10)} — K from Eq. 1 with
+the largest-BDP path — and plots 5 s-averaged subflow rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.metrics.collector import RateSampler
+from repro.mptcp.connection import MptcpConnection
+from repro.topology.torus import DEFAULT_CAPACITIES, build_torus
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    beta: float = 4.0
+    marking_threshold: int = 20
+    scheme: str = "xmp"
+    time_scale: float = 1.0  # 1.0 = the paper's 70 s experiment
+    rtt: float = 350e-6
+    queue_capacity: int = 100
+    num_background: int = 4
+    sample_interval: float = 5.0  # the paper averages per 5 s interval
+
+
+@dataclass
+class Fig7Result:
+    config: Fig7Config
+    times: List[float] = field(default_factory=list)
+    #: "flow{i}-{j}" for the five main flows, "bg{b}" for background.
+    rates: Dict[str, List[float]] = field(default_factory=dict)
+    capacities: List[float] = field(default_factory=list)
+
+    def mean_rate(self, name: str, start: float, end: float) -> float:
+        values = [
+            rate for time, rate in zip(self.times, self.rates[name])
+            if start <= time <= end
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def normalized_mean(self, name: str, start: float, end: float) -> float:
+        """Mean rate over a window, normalized like the paper (1 Gbps)."""
+        return self.mean_rate(name, start, end) / 1e9
+
+
+def run_fig7(config: Fig7Config) -> Fig7Result:
+    """Run the Fig. 7 experiment; returns 5 s-averaged subflow rates."""
+    s = config.time_scale
+    net = build_torus(
+        capacities=DEFAULT_CAPACITIES,
+        rtt=config.rtt,
+        queue_capacity=config.queue_capacity,
+        marking_threshold=config.marking_threshold,
+        num_background=config.num_background,
+    )
+    total = 70.0 * s
+    sampler = RateSampler(net.sim, {}, interval=config.sample_interval * s,
+                          until=total)
+
+    for i in range(1, 6):
+        connection = MptcpConnection(
+            net, f"S{i}", f"D{i}", net.flow_paths(i),
+            scheme=config.scheme, beta=config.beta,
+        )
+        for j, subflow in enumerate(connection.subflows, start=1):
+            sampler.add_sender(f"flow{i}-{j}", subflow.sender)
+        net.sim.schedule((i - 1) * 5.0 * s, connection.start)
+
+    for b in range(1, config.num_background + 1):
+        background = MptcpConnection(
+            net, f"BG{b}", f"BGD{b}", [net.background_path(b)],
+            scheme=config.scheme, beta=config.beta,
+        )
+        sampler.add_sender(f"bg{b}", background.subflows[0].sender)
+        net.sim.schedule((25.0 + (b - 1) * 5.0) * s, background.start)
+        net.sim.schedule((45.0 + (b - 1) * 5.0) * s, background.stop)
+
+    l3 = net.bottleneck(3)
+    net.sim.schedule(60.0 * s, net.set_link_pair_down, l3)
+
+    sampler.start(config.sample_interval * s)
+    net.sim.run(until=total)
+    return Fig7Result(
+        config=config,
+        times=sampler.times,
+        rates=sampler.rates,
+        capacities=list(DEFAULT_CAPACITIES),
+    )
+
+
+__all__ = ["Fig7Config", "Fig7Result", "run_fig7"]

@@ -1,0 +1,80 @@
+"""Fig. 8 — goodput distributions.
+
+(a)/(b): CDFs of per-flow goodput (normalized to 1 Gbps) under the
+Permutation and Incast patterns for DCTCP / LIA-2 / LIA-4 / XMP-2 / XMP-4.
+(c)/(d): per-category (inter-pod / inter-rack / inner-rack) five-number
+summaries for DCTCP / LIA-4 / XMP-2 / XMP-4.
+
+Key paper shapes: DCTCP wins inner-rack but collapses across more hops;
+XMP's multipath compensates; LIA's inner-rack goodput is ruined by the
+200 ms loss-recovery floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.table1_goodput import TABLE1_SCHEMES
+from repro.metrics.stats import cdf_points, summarize
+
+#: Schemes shown in the per-category panels (c)/(d).
+CATEGORY_SCHEMES: Tuple[Tuple[str, int], ...] = (
+    ("dctcp", 1),
+    ("lia", 4),
+    ("xmp", 2),
+    ("xmp", 4),
+)
+
+LINK_RATE_BPS = 1e9
+
+
+@dataclass
+class Fig8Result:
+    """CDFs and per-category summaries for one pattern."""
+
+    pattern: str
+    #: label -> [(normalized goodput, cumulative fraction)]
+    cdfs: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: label -> category -> five-number summary of normalized goodput
+    by_category: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def median(self, label: str) -> float:
+        points = self.cdfs[label]
+        if not points:
+            return 0.0
+        values = [value for value, _ in points]
+        values.sort()
+        return values[len(values) // 2]
+
+
+def run_fig8(
+    pattern: str,
+    base: FatTreeScenario = FatTreeScenario(),
+    schemes: Sequence[Tuple[str, int]] = TABLE1_SCHEMES,
+) -> Fig8Result:
+    """Compute Fig. 8's distributions for one traffic pattern."""
+    result = Fig8Result(pattern=pattern)
+    for scheme, subflows in schemes:
+        scenario = replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
+        run = run_fattree(scenario)
+        label = scenario.label()
+        records = run.all_records(label)
+        normalized = [
+            record.goodput_bps(run.duration) / LINK_RATE_BPS for record in records
+        ]
+        result.cdfs[label] = cdf_points(normalized) if normalized else []
+        if (scheme, subflows) in CATEGORY_SCHEMES:
+            grouped: Dict[str, List[float]] = {}
+            for record in records:
+                grouped.setdefault(record.category, []).append(
+                    record.goodput_bps(run.duration) / LINK_RATE_BPS
+                )
+            result.by_category[label] = {
+                category: summarize(values) for category, values in grouped.items()
+            }
+    return result
+
+
+__all__ = ["Fig8Result", "run_fig8", "CATEGORY_SCHEMES", "LINK_RATE_BPS"]

@@ -1,0 +1,70 @@
+"""Plain-text rendering of tables, CDFs and five-number bars.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and readable in pytest logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.metrics.stats import percentile
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cdf(
+    values: Sequence[float],
+    quantiles: Sequence[float] = (10, 25, 50, 75, 90, 99),
+    unit: str = "",
+    scale: float = 1.0,
+) -> str:
+    """Summarize a distribution by its quantiles on one line."""
+    if not values:
+        return "(no samples)"
+    parts = [
+        f"p{int(q)}={percentile(values, q) * scale:.3g}{unit}" for q in quantiles
+    ]
+    parts.append(f"n={len(values)}")
+    return "  ".join(parts)
+
+
+def format_summary(summary: Dict[str, float], scale: float = 1.0, unit: str = "") -> str:
+    """Render a five-number summary dict from :func:`repro.metrics.stats.summarize`."""
+    keys = ("min", "p10", "p50", "p90", "max")
+    return "  ".join(f"{key}={summary[key] * scale:.3g}{unit}" for key in keys)
+
+
+def format_series(
+    series: Sequence[Tuple[float, float]], scale: float = 1.0, width: int = 50
+) -> str:
+    """Render a (time, value) series as a crude horizontal bar chart."""
+    if not series:
+        return "(empty series)"
+    peak = max(value for _, value in series) or 1.0
+    lines: List[str] = []
+    for time, value in series:
+        bar = "#" * int(width * value / peak)
+        lines.append(f"{time:8.2f}s  {value * scale:10.3f}  {bar}")
+    return "\n".join(lines)
+
+
+__all__ = ["format_table", "format_cdf", "format_summary", "format_series"]

@@ -1,0 +1,107 @@
+"""Table 2 — XMP coexisting with LIA / TCP / DCTCP (Random pattern).
+
+Half of the hosts run XMP-2, the other half one of {LIA-2, TCP, DCTCP},
+at switch queue sizes of 50 and 100 packets.  Paper's numbers (Mbps)::
+
+    Queue size        50 packets      100 packets
+    XMP : LIA        463.4 : 314.3   423.2 : 388.3
+    XMP : TCP        522.9 : 175.3   501.8 : 243.4
+    XMP : DCTCP      485.4 : 485.3   481.4 : 493.5
+
+Shapes to hold: XMP ≈ DCTCP (both ECN-driven); XMP ≫ TCP; XMP > LIA, with
+the gap narrowing as the queue grows (deep buffers help loss-based
+schemes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.reporting import format_table
+
+#: (coexisting scheme, its subflow count) — the paper's three rows.
+COEXIST_SCHEMES: Tuple[Tuple[str, int], ...] = (
+    ("lia", 2),
+    ("tcp", 1),
+    ("dctcp", 1),
+)
+
+QUEUE_SIZES: Tuple[int, ...] = (50, 100)
+
+PAPER_TABLE2 = {
+    ("lia", 50): (463.4, 314.3),
+    ("lia", 100): (423.2, 388.3),
+    ("tcp", 50): (522.9, 175.3),
+    ("tcp", 100): (501.8, 243.4),
+    ("dctcp", 50): (485.4, 485.3),
+    ("dctcp", 100): (481.4, 493.5),
+}
+
+
+@dataclass
+class Table2Result:
+    """(other scheme, queue size) -> (XMP Mbps, other Mbps)."""
+
+    cells: Dict[Tuple[str, int], Tuple[float, float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        schemes = []
+        queues = []
+        for scheme, queue in self.cells:
+            if scheme not in schemes:
+                schemes.append(scheme)
+            if queue not in queues:
+                queues.append(queue)
+        headers = ["Pairing"] + [f"{q} packets" for q in sorted(queues)]
+        rows = []
+        for scheme in schemes:
+            row = [f"XMP : {scheme.upper()}"]
+            for queue in sorted(queues):
+                xmp, other = self.cells[(scheme, queue)]
+                row.append(f"{xmp:.1f} : {other:.1f}")
+            rows.append(row)
+        return format_table(
+            headers, rows,
+            title="Table 2: Average Goodput (Mbps), Random pattern, coexistence",
+        )
+
+
+def run_table2(
+    base: FatTreeScenario = FatTreeScenario(),
+    schemes: Sequence[Tuple[str, int]] = COEXIST_SCHEMES,
+    queue_sizes: Sequence[int] = QUEUE_SIZES,
+) -> Table2Result:
+    """Run every coexistence cell and collect both sides' mean goodput."""
+    result = Table2Result()
+    for other_scheme, other_subflows in schemes:
+        for queue in queue_sizes:
+            scenario = replace(
+                base,
+                scheme="xmp",
+                subflows=2,
+                pattern="random",
+                queue_capacity=queue,
+                coexist_scheme=other_scheme,
+                coexist_subflows=other_subflows,
+            )
+            run = run_fattree(scenario)
+            xmp_label = scenario.label()
+            other_label = other_scheme.upper()
+            if other_subflows > 1:
+                other_label = f"{other_label}-{other_subflows}"
+            result.cells[(other_scheme, queue)] = (
+                run.mean_goodput_bps(xmp_label) / 1e6,
+                run.mean_goodput_bps(other_label) / 1e6,
+            )
+    return result
+
+
+__all__ = [
+    "COEXIST_SCHEMES",
+    "QUEUE_SIZES",
+    "PAPER_TABLE2",
+    "Table2Result",
+    "run_table2",
+]

@@ -1,0 +1,20 @@
+"""Table 3 — average job completion time and deadline misses.
+
+Thin view over :mod:`repro.experiments.fig9_jct_cdf`: the same Incast
+simulations produce both the Fig. 9 CDF and this table, so the module
+simply re-exports the runner under the table's name (and the shared
+result cache makes the second consumer free).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_jct_cdf import (
+    DEADLINE,
+    PAPER_TABLE3,
+    JctResult,
+    run_jct,
+)
+
+run_table3 = run_jct
+
+__all__ = ["run_table3", "JctResult", "PAPER_TABLE3", "DEADLINE"]

@@ -1,0 +1,33 @@
+"""Measurement: the quantities the paper's evaluation section reports.
+
+* :mod:`repro.metrics.stats` — percentiles, CDFs, summary statistics.
+* :mod:`repro.metrics.fairness` — Jain's fairness index.
+* :mod:`repro.metrics.collector` — periodic samplers (per-flow rates,
+  queue occupancy, RTTs) driven by simulator events.
+* :mod:`repro.metrics.goodput` — flow records and goodput aggregation
+  (Table 1/2, Fig. 8).
+* :mod:`repro.metrics.utilization` — per-layer link utilization (Fig. 11).
+"""
+
+from repro.metrics.stats import cdf_points, mean, percentile, summarize
+from repro.metrics.fairness import jain_index
+from repro.metrics.collector import QueueMonitor, RateSampler, RttSampler
+from repro.metrics.trace import FlowTracer, rate_series_to_csv
+from repro.metrics.goodput import FlowRecord, goodput_table
+from repro.metrics.utilization import utilization_by_layer
+
+__all__ = [
+    "cdf_points",
+    "mean",
+    "percentile",
+    "summarize",
+    "jain_index",
+    "QueueMonitor",
+    "RateSampler",
+    "RttSampler",
+    "FlowTracer",
+    "rate_series_to_csv",
+    "FlowRecord",
+    "goodput_table",
+    "utilization_by_layer",
+]

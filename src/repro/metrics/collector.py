@@ -1,0 +1,168 @@
+"""Periodic samplers driven by simulator events.
+
+Each sampler schedules itself every ``interval`` seconds and appends to
+plain Python lists, so post-processing is ordinary list work.  Samplers
+stop sampling automatically when the simulator's event heap drains (their
+own events keep the heap alive only until ``until`` if given).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.link import Link
+from repro.net.packet import MSS_BYTES
+from repro.sim.engine import Simulator
+from repro.transport.tcp import TcpSender
+
+
+class PeriodicSampler:
+    """Base: call :meth:`sample` every ``interval`` until ``until``."""
+
+    def __init__(
+        self, sim: Simulator, interval: float, until: Optional[float] = None
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.until = until
+        self._stopped = False
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin sampling ``delay`` seconds from now."""
+        self.sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop after the current tick."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        if self.until is not None and self.sim.now > self.until:
+            return
+        self.sample()
+        self.sim.schedule(self.interval, self._tick)
+
+    def sample(self) -> None:
+        raise NotImplementedError
+
+
+class RateSampler(PeriodicSampler):
+    """Per-sender delivery rate over each interval, bits/second.
+
+    This is how the paper's rate-versus-time plots (Figs. 1, 4, 6, 7) are
+    produced: the rate in an interval is the growth of cumulatively
+    acknowledged payload divided by the interval.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        senders: Dict[str, TcpSender],
+        interval: float,
+        until: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, interval, until)
+        self.senders = dict(senders)
+        self.times: List[float] = []
+        self.rates: Dict[str, List[float]] = {name: [] for name in self.senders}
+        self._last_delivered: Dict[str, int] = {
+            name: sender.delivered_segments for name, sender in self.senders.items()
+        }
+
+    def add_sender(self, name: str, sender: TcpSender) -> None:
+        """Track one more sender; earlier intervals are padded with 0."""
+        if name in self.senders:
+            raise ValueError(f"duplicate sender name {name}")
+        self.senders[name] = sender
+        self.rates[name] = [0.0] * len(self.times)
+        self._last_delivered[name] = sender.delivered_segments
+
+    def sample(self) -> None:
+        self.times.append(self.sim.now)
+        for name, sender in self.senders.items():
+            delivered = sender.delivered_segments
+            delta = delivered - self._last_delivered[name]
+            self._last_delivered[name] = delivered
+            self.rates[name].append(delta * MSS_BYTES * 8.0 / self.interval)
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """The (time, rate) series for one sender."""
+        return list(zip(self.times, self.rates[name]))
+
+    def mean_rate(self, name: str, start: float = 0.0, end: float = float("inf")) -> float:
+        """Average rate of a sender over a time window."""
+        values = [
+            rate
+            for time, rate in zip(self.times, self.rates[name])
+            if start <= time <= end
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+class QueueMonitor(PeriodicSampler):
+    """Occupancy of a set of link queues over time (buffer-occupancy plots)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        links: Sequence[Link],
+        interval: float,
+        until: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, interval, until)
+        self.links = list(links)
+        self.times: List[float] = []
+        self.occupancy: Dict[str, List[int]] = {link.name: [] for link in self.links}
+
+    def sample(self) -> None:
+        self.times.append(self.sim.now)
+        for link in self.links:
+            self.occupancy[link.name].append(link.occupancy)
+
+    def mean_occupancy(self, link_name: str) -> float:
+        """Time-average occupancy of one link's queue."""
+        samples = self.occupancy[link_name]
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def max_occupancy(self, link_name: str) -> int:
+        """Largest sampled occupancy of one link's queue."""
+        samples = self.occupancy[link_name]
+        return max(samples) if samples else 0
+
+
+class RttSampler(PeriodicSampler):
+    """Collect smoothed-RTT samples from live senders, tagged by group.
+
+    Fig. 10 reports RTT distributions per flow category; the experiment
+    registers each large-flow subflow under its category and this sampler
+    harvests ``srtt`` periodically while the sender runs.
+    """
+
+    def __init__(
+        self, sim: Simulator, interval: float, until: Optional[float] = None
+    ) -> None:
+        super().__init__(sim, interval, until)
+        self._senders: List[Tuple[str, TcpSender]] = []
+        self.samples: Dict[str, List[float]] = {}
+
+    def watch(self, group: str, sender: TcpSender) -> None:
+        """Start harvesting this sender's srtt under ``group``."""
+        self._senders.append((group, sender))
+        self.samples.setdefault(group, [])
+
+    def sample(self) -> None:
+        for group, sender in self._senders:
+            if sender.running and not sender.completed:
+                srtt = sender.srtt
+                if srtt is not None:
+                    self.samples[group].append(srtt)
+
+
+__all__ = ["PeriodicSampler", "RateSampler", "QueueMonitor", "RttSampler"]

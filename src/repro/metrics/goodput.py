@@ -1,0 +1,113 @@
+"""Flow records and goodput aggregation (Tables 1-2, Fig. 8).
+
+The paper defines Goodput as "the average data transfer rate of a large
+flow over its whole running time"; a :class:`FlowRecord` captures one
+finished (or still-running) transfer and the helpers aggregate them the
+way the tables and CDFs do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.stats import cdf_points, mean, summarize
+
+
+class FlowRecord:
+    """One transfer's outcome."""
+
+    __slots__ = (
+        "flow_id",
+        "scheme",
+        "src",
+        "dst",
+        "category",
+        "size_bytes",
+        "start_time",
+        "complete_time",
+        "delivered_bytes",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        scheme: str,
+        src: str,
+        dst: str,
+        category: str,
+        size_bytes: int,
+        start_time: float,
+        complete_time: Optional[float],
+        delivered_bytes: int,
+    ) -> None:
+        self.flow_id = flow_id
+        self.scheme = scheme
+        self.src = src
+        self.dst = dst
+        self.category = category
+        self.size_bytes = size_bytes
+        self.start_time = start_time
+        self.complete_time = complete_time
+        self.delivered_bytes = delivered_bytes
+
+    @property
+    def finished(self) -> bool:
+        return self.complete_time is not None
+
+    def goodput_bps(self, now: Optional[float] = None) -> float:
+        """Delivered bits over running time; unfinished flows need ``now``."""
+        end = self.complete_time
+        if end is None:
+            if now is None:
+                raise ValueError("unfinished flow needs `now` for goodput")
+            end = now
+        duration = end - self.start_time
+        if duration <= 0:
+            return 0.0
+        return self.delivered_bytes * 8.0 / duration
+
+    def completion_time(self) -> Optional[float]:
+        """Flow completion time in seconds, if finished."""
+        if self.complete_time is None:
+            return None
+        return self.complete_time - self.start_time
+
+
+def goodputs_bps(records: Sequence[FlowRecord], now: Optional[float] = None) -> List[float]:
+    """Goodput of every record (unfinished ones measured up to ``now``)."""
+    return [record.goodput_bps(now) for record in records]
+
+
+def goodput_table(
+    records_by_scheme: Dict[str, Sequence[FlowRecord]],
+    now: Optional[float] = None,
+) -> Dict[str, float]:
+    """Average goodput per scheme in bps — one column of Table 1."""
+    return {
+        scheme: mean(goodputs_bps(records, now))
+        for scheme, records in records_by_scheme.items()
+    }
+
+
+def goodput_cdf(records: Sequence[FlowRecord], now: Optional[float] = None):
+    """Empirical goodput CDF points — one curve of Fig. 8(a)/(b)."""
+    return cdf_points(goodputs_bps(records, now))
+
+
+def goodput_by_category(
+    records: Sequence[FlowRecord], now: Optional[float] = None
+) -> Dict[str, Dict[str, float]]:
+    """Five-number goodput summary per flow category — Fig. 8(c)/(d)."""
+    grouped: Dict[str, List[float]] = {}
+    for record in records:
+        grouped.setdefault(record.category, []).append(record.goodput_bps(now))
+    return {category: summarize(values) for category, values in grouped.items()}
+
+
+__all__ = [
+    "FlowRecord",
+    "goodputs_bps",
+    "goodput_table",
+    "goodput_cdf",
+    "goodput_by_category",
+]

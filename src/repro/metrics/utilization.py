@@ -1,0 +1,37 @@
+"""Per-layer link utilization (Fig. 11).
+
+The paper defines utilization of link *l* as ``transferred / capacity``
+over the whole simulation; links are grouped by layer (core /
+aggregation / rack) and the figure shows each group's distribution
+("a shorter vertical line implies a more balanced link utilization").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.net.link import Link
+from repro.metrics.stats import summarize
+
+
+def link_utilizations(links: Iterable[Link], duration: float) -> List[float]:
+    """Utilization of each link over ``duration`` seconds."""
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    return [link.utilization(duration) for link in links]
+
+
+def utilization_by_layer(
+    links: Sequence[Link],
+    duration: float,
+    layers: Sequence[str] = ("core", "aggregation", "rack"),
+) -> Dict[str, Dict[str, float]]:
+    """Five-number utilization summary per layer — one scheme's Fig. 11 bars."""
+    result: Dict[str, Dict[str, float]] = {}
+    for layer in layers:
+        layer_links = [link for link in links if link.layer == layer]
+        result[layer] = summarize(link_utilizations(layer_links, duration))
+    return result
+
+
+__all__ = ["link_utilizations", "utilization_by_layer"]

@@ -1,0 +1,33 @@
+"""MPTCP: multipath connections and coupled congestion control.
+
+An :class:`~repro.mptcp.connection.MptcpConnection` stripes one logical
+transfer over several subflows, each a full
+:class:`~repro.transport.tcp.TcpSender` pinned to its own path.  How the
+subflows' windows are coupled is a pluggable *coupling*:
+
+* ``"xmp"`` — the paper's scheme (BOS per subflow, TraSh tuning deltas);
+* ``"lia"`` — MPTCP's default Linked Increases (Wischik et al., NSDI'11);
+* ``"olia"`` — Opportunistic LIA (Khalili et al., CoNEXT'12), the fix the
+  paper's §7 points at as future work;
+* ``"bos-uncoupled"`` — BOS on every subflow with delta pinned to 1
+  (the coupling ablation);
+* ``"reno"`` / ``"tcp"`` — uncoupled Reno subflows (the fairness
+  strawman); ``"dctcp"`` — DCTCP per subflow (single-path baseline when
+  used with one path).
+"""
+
+from repro.mptcp.connection import MptcpConnection, Subflow
+from repro.mptcp.coupling import available_schemes, create_coupling
+from repro.mptcp.lia import LiaCoupling, LiaCC
+from repro.mptcp.olia import OliaCoupling, OliaCC
+
+__all__ = [
+    "MptcpConnection",
+    "Subflow",
+    "available_schemes",
+    "create_coupling",
+    "LiaCoupling",
+    "LiaCC",
+    "OliaCoupling",
+    "OliaCC",
+]

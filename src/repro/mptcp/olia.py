@@ -1,0 +1,150 @@
+"""OLIA — Opportunistic Linked Increases (Khalili et al., CoNEXT 2012).
+
+The paper's §7 notes TraSh may inherit LIA's non-Pareto-optimality and
+points at OLIA's fix as future work; we implement it as the extension
+baseline.  Per ACKed segment on path r in congestion avoidance:
+
+.. math::
+
+    \\Delta w_r = \\frac{w_r / rtt_r^2}{(\\sum_p w_p / rtt_p)^2}
+                  + \\frac{\\alpha_r}{w_r}
+
+where, with ``n`` the number of paths, ``M`` the set of *best* paths
+(largest ``l_p^2 / rtt_p``, with ``l_p`` the smoothed data delivered
+between losses) and ``B`` the set of largest-window paths:
+
+* ``alpha_r = +1 / (n * |M \\ B|)``  if ``r`` is a best path with a small
+  window (push traffic onto it),
+* ``alpha_r = -1 / (n * |B|)``      if ``r`` has a maximal window but is
+  not best (pull traffic off it), provided ``M \\ B`` is non-empty,
+* ``alpha_r = 0`` otherwise.
+
+Decrease is Reno halving on loss; OLIA is loss-driven (not ECN-capable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.transport.cc import RenoCC
+
+
+class OliaCoupling:
+    """Shared state across the OLIA controllers of one MPTCP flow."""
+
+    def __init__(self) -> None:
+        self._controllers: List["OliaCC"] = []
+
+    def make_controller(self) -> "OliaCC":
+        controller = OliaCC(self)
+        self._controllers.append(controller)
+        return controller
+
+    @property
+    def controllers(self) -> List["OliaCC"]:
+        return list(self._controllers)
+
+    def _active(self) -> List["OliaCC"]:
+        active = []
+        for controller in self._controllers:
+            sender = controller.sender
+            if sender is not None and sender.running and not sender.completed:
+                active.append(controller)
+        return active
+
+    def rate_denominator(self) -> float:
+        """``(sum_p w_p/rtt_p)^2``; 0 while RTTs are unknown."""
+        total = 0.0
+        for controller in self._active():
+            sender = controller.sender
+            assert sender is not None
+            srtt = sender.srtt
+            if srtt is None or srtt <= 0:
+                return 0.0
+            total += sender.cwnd / srtt
+        return total * total
+
+    def alphas(self) -> Dict["OliaCC", float]:
+        """The per-path ``alpha_r`` assignment described above."""
+        active = self._active()
+        result: Dict["OliaCC", float] = {controller: 0.0 for controller in active}
+        if len(active) < 2:
+            return result
+        quality = {}
+        for controller in active:
+            sender = controller.sender
+            assert sender is not None
+            srtt = sender.srtt if sender.srtt else 1.0
+            loss_interval = controller.loss_interval()
+            quality[controller] = loss_interval * loss_interval / srtt
+        best_quality = max(quality.values())
+        best: Set["OliaCC"] = {
+            c for c, q in quality.items() if q >= best_quality * (1.0 - 1e-9)
+        }
+        max_window = max(c.sender.cwnd for c in active)  # type: ignore[union-attr]
+        largest: Set["OliaCC"] = {
+            c
+            for c in active
+            if c.sender is not None and c.sender.cwnd >= max_window * (1.0 - 1e-9)
+        }
+        best_small = best - largest
+        n = len(active)
+        if best_small:
+            share = 1.0 / (n * len(best_small))
+            for controller in best_small:
+                result[controller] = share
+            penalty = 1.0 / (n * len(largest))
+            for controller in largest:
+                if controller not in best:
+                    result[controller] = -penalty
+        return result
+
+
+class OliaCC(RenoCC):
+    """Per-subflow OLIA controller."""
+
+    def __init__(self, coupling: OliaCoupling) -> None:
+        super().__init__(ecn=False)
+        self.coupling = coupling
+        # l1: segments delivered between the previous two losses;
+        # l2: segments delivered since the last loss.
+        self._l1 = 0.0
+        self._l2 = 0.0
+
+    def loss_interval(self) -> float:
+        """``l_r`` — the larger of the two inter-loss transfer estimates."""
+        return max(self._l1, self._l2, 1.0)
+
+    def on_ack(self, newly_acked, ece_count, rtt_sample, now, round_ended):
+        if newly_acked > 0:
+            self._l2 += newly_acked
+        super().on_ack(newly_acked, ece_count, rtt_sample, now, round_ended)
+
+    def on_loss_event(self, now: float) -> None:
+        self._l1, self._l2 = self._l2, 0.0
+        super().on_loss_event(now)
+
+    def on_timeout(self, now: float) -> None:
+        self._l1, self._l2 = self._l2, 0.0
+        super().on_timeout(now)
+
+    def increase_per_segment(self, newly_acked: int) -> float:
+        sender = self.sender
+        assert sender is not None
+        own = 1.0 / max(sender.cwnd, 1.0)
+        denominator = self.coupling.rate_denominator()
+        if denominator <= 0.0:
+            return own
+        srtt = sender.srtt
+        if srtt is None or srtt <= 0:
+            return own
+        base = (sender.cwnd / (srtt * srtt)) / denominator
+        alpha = self.coupling.alphas().get(self, 0.0)
+        increase = base + alpha / max(sender.cwnd, 1.0)
+        # OLIA caps the increase at the uncoupled TCP rate and floors the
+        # total at zero (a path is never actively shrunk by the increase
+        # term).
+        return max(0.0, min(increase, own))
+
+
+__all__ = ["OliaCoupling", "OliaCC"]

@@ -1,0 +1,53 @@
+"""Segment scheduling across subflows.
+
+The connection stripes data with a *demand-driven* pull model: every
+subflow pulls batches of segments from one shared
+:class:`~repro.transport.tcp.FiniteSource` whenever its congestion window
+opens.  Faster subflows (larger window, shorter RTT) therefore naturally
+carry proportionally more of the transfer — the steady-state behaviour of
+the Linux MPTCP lowest-RTT-first scheduler the paper's implementation
+used — without simulating per-packet scheduler decisions.
+
+Connection-level reinjection (re-sending data stranded on a dead subflow
+through a live one) is intentionally not modelled: the paper's throughput
+experiments keep paths up for the lifetime of finite transfers, and the
+one experiment that kills a link (Fig. 7) uses long-running flows measured
+by rate, not completion.  The limitation is documented here and in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.transport.tcp import FiniteSource, InfiniteSource, SegmentSource
+
+
+class SharedSegmentPool(FiniteSource):
+    """A finite pool of segments shared by all subflows of one connection.
+
+    Semantically identical to :class:`FiniteSource`; the subclass exists so
+    connection code reads as what it means and so pool-specific accounting
+    can be added without touching the single-path source.
+    """
+
+    @property
+    def remaining(self) -> int:
+        """Segments not yet handed to any subflow."""
+        return self.total - self.granted
+
+    def restitute(self, count: int) -> None:
+        """Return ``count`` granted-but-undelivered segments to the pool.
+
+        Used by connection-level reinjection: when a subflow is declared
+        dead, the data it was assigned but never got acknowledged goes
+        back into the pool so surviving subflows can carry it.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count > self.granted:
+            raise ValueError(
+                f"cannot restitute {count} of {self.granted} granted segments"
+            )
+        self.granted -= count
+
+
+__all__ = ["SharedSegmentPool", "SegmentSource", "InfiniteSource"]

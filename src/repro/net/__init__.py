@@ -1,0 +1,43 @@
+"""Network model: packets, queues, links, nodes, switches and routing.
+
+The model is deliberately minimal but faithful where the paper's algorithms
+care: per-egress-port queues with instantaneous-threshold ECN marking,
+store-and-forward links with serialization plus propagation delay, and
+source-routed forwarding so each (sub)flow is pinned to an explicit path.
+"""
+
+from repro.net.packet import Packet, DATA, ACK
+from repro.net.queue import (
+    DropTailQueue,
+    ThresholdECNQueue,
+    REDQueue,
+    QueueStats,
+)
+from repro.net.link import Link
+from repro.net.node import Node, Host, Switch
+from repro.net.network import Network
+from repro.net.routing import (
+    PathSelector,
+    EcmpSelector,
+    DistinctPathSelector,
+    enumerate_paths,
+)
+
+__all__ = [
+    "Packet",
+    "DATA",
+    "ACK",
+    "DropTailQueue",
+    "ThresholdECNQueue",
+    "REDQueue",
+    "QueueStats",
+    "Link",
+    "Node",
+    "Host",
+    "Switch",
+    "Network",
+    "PathSelector",
+    "EcmpSelector",
+    "DistinctPathSelector",
+    "enumerate_paths",
+]

@@ -1,0 +1,138 @@
+"""Unidirectional store-and-forward links.
+
+A :class:`Link` models one direction of a cable: packets entering an idle
+link begin serialization immediately; otherwise they wait in the link's
+egress queue.  When serialization finishes, the packet propagates for
+``delay`` seconds and is then delivered to the destination node, and the
+next waiting packet (if any) starts serializing.
+
+This is the standard NS-3-style point-to-point model the paper's
+simulations used: per-egress-port queue + transmitter + propagation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+class Link:
+    """One direction of a point-to-point link."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "src",
+        "dst",
+        "rate_bps",
+        "delay",
+        "queue",
+        "up",
+        "busy",
+        "bytes_transmitted",
+        "packets_transmitted",
+        "bytes_offered",
+        "layer",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        delay: float,
+        queue: Optional[DropTailQueue] = None,
+        layer: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {delay}")
+        self.sim = sim
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.up = True
+        self.busy = False
+        self.bytes_transmitted = 0
+        self.packets_transmitted = 0
+        self.bytes_offered = 0
+        self.layer = layer
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet to the link; returns ``False`` if dropped.
+
+        A down link silently discards everything (the Fig. 7 "L3 is closed"
+        event); senders discover this through their retransmission timers,
+        exactly as they would in a real network.
+        """
+        self.bytes_offered += packet.size
+        if not self.up:
+            self.queue.stats.dropped += 1
+            return False
+        if self.busy:
+            return self.queue.accept(packet)
+        # Idle transmitter: the packet bypasses the queue and starts
+        # serializing right away (the queue only ever holds *waiting*
+        # packets, which is what the marking threshold is compared to).
+        self.busy = True
+        self._start_transmission(packet)
+        return True
+
+    def set_down(self) -> None:
+        """Take the link down, discarding queued packets."""
+        self.up = False
+        while self.queue.pop() is not None:
+            self.queue.stats.dropped += 1
+
+    def set_up(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    @property
+    def occupancy(self) -> int:
+        """Waiting packets (the quantity the paper's K is compared to)."""
+        return self.queue.occupancy
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of capacity used over ``duration`` seconds."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.bytes_transmitted * 8.0 / (self.rate_bps * duration))
+
+    # ------------------------------------------------------------------
+
+    def _start_transmission(self, packet: Packet) -> None:
+        tx_time = packet.size * 8.0 / self.rate_bps
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        if self.up:
+            self.bytes_transmitted += packet.size
+            self.packets_transmitted += 1
+            self.sim.schedule(self.delay, self.dst.receive, packet)
+        next_packet = self.queue.pop()
+        if next_packet is not None and self.up:
+            self._start_transmission(next_packet)
+        else:
+            self.busy = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "DOWN"
+        return f"Link({self.name}, {self.rate_bps/1e9:.3f}Gbps, {state})"
+
+
+__all__ = ["Link"]

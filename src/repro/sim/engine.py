@@ -1,0 +1,177 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a binary heap of :class:`~repro.sim.events.Event`
+objects and a monotonically advancing clock.  Everything in the network
+model — link serialization, propagation, TCP timers, application arrivals —
+is expressed as events on a single simulator instance, so a whole experiment
+is one deterministic event loop.
+
+Time is a ``float`` in **seconds**.  All delays produced by the network
+model are sums and quotients of exact inputs, and the deterministic
+``(time, priority, seq)`` ordering means float rounding can never reorder
+two events that were scheduled in a defined order at the same instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A single-threaded discrete-event scheduler.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(0.5, callback, arg1, arg2)
+        sim.run(until=10.0)
+
+    The simulator stops when the heap drains, when ``until`` is reached, or
+    when :meth:`stop` is called from inside a callback.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap, including cancelled ones."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``priority`` breaks ties among events at the same instant (lower
+        fires first); the insertion sequence breaks remaining ties, so
+        same-time same-priority events fire in FIFO order.
+
+        Returns the :class:`Event`, which the caller may :meth:`~Event.cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        self._seq += 1
+        event = Event(time, priority, self._seq, callback, args)
+        # The heap stores plain tuples so ordering comparisons stay in C;
+        # the Event rides along for lazy cancellation.
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        return self.schedule(time - self._now, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Args:
+            until: stop once the clock would pass this time.  Events at
+                exactly ``until`` still fire.  The clock is advanced to
+                ``until`` on a timed stop so metric windows close cleanly.
+            max_events: safety valve; stop after this many fired events.
+
+        Returns:
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        try:
+            while heap:
+                time, _priority, _seq, event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heappop(heap)
+                self._now = time
+                event.callback(*event.args)
+                self._events_processed += 1
+                fired += 1
+                if self._stopped:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request the loop to stop after the current callback returns."""
+        self._stopped = True
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero.
+
+        Only meaningful between independent runs that reuse the object;
+        experiments normally build a fresh :class:`Simulator` instead.
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._heap.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0
+        self._stopped = False
+
+
+__all__ = ["Simulator", "SimulationError"]

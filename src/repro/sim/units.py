@@ -1,0 +1,133 @@
+"""Unit helpers.
+
+The simulator's base units are **seconds**, **bits per second** and
+**bytes**.  The paper mixes Gbps links, microsecond delays and packet-count
+queues; these helpers keep experiment configs readable and conversion bugs
+out of the model code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+def seconds(value: float) -> float:
+    """Identity; marks a literal as seconds at call sites."""
+    return float(value)
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def nanoseconds(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Rates
+# ---------------------------------------------------------------------------
+
+def bits_per_second(value: float) -> float:
+    """Identity; marks a literal as bits/second at call sites."""
+    return float(value)
+
+
+def kilobits_per_second(value: float) -> float:
+    """Convert kbit/s to bit/s."""
+    return value * 1e3
+
+
+def megabits_per_second(value: float) -> float:
+    """Convert Mbit/s to bit/s."""
+    return value * 1e6
+
+
+def gigabits_per_second(value: float) -> float:
+    """Convert Gbit/s to bit/s."""
+    return value * 1e9
+
+
+# ---------------------------------------------------------------------------
+# Sizes
+# ---------------------------------------------------------------------------
+
+def bytes_(value: float) -> int:
+    """Identity (rounded); marks a literal as bytes at call sites."""
+    return int(value)
+
+
+def kilobytes(value: float) -> int:
+    """Convert KB (10^3) to bytes."""
+    return int(value * 1e3)
+
+
+def kibibytes(value: float) -> int:
+    """Convert KiB (2^10) to bytes."""
+    return int(value * 1024)
+
+
+def megabytes(value: float) -> int:
+    """Convert MB (10^6) to bytes."""
+    return int(value * 1e6)
+
+
+def mebibytes(value: float) -> int:
+    """Convert MiB (2^20) to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def gigabytes(value: float) -> int:
+    """Convert GB (10^9) to bytes."""
+    return int(value * 1e9)
+
+
+# ---------------------------------------------------------------------------
+# Derived quantities
+# ---------------------------------------------------------------------------
+
+def transmission_delay(size_bytes: int, rate_bps: float) -> float:
+    """Serialization time of ``size_bytes`` on a ``rate_bps`` link, seconds."""
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return size_bytes * 8.0 / rate_bps
+
+
+def bandwidth_delay_product_packets(
+    rate_bps: float, rtt_s: float, packet_bytes: int = 1500
+) -> float:
+    """BDP expressed in packets, as used throughout the paper (e.g. Eq. 1).
+
+    The paper computes e.g. ``1 Gbps x 225 us / (8 x 1500) ~= 19 packets``.
+    """
+    if packet_bytes <= 0:
+        raise ValueError(f"packet size must be positive, got {packet_bytes}")
+    return rate_bps * rtt_s / (8.0 * packet_bytes)
+
+
+__all__ = [
+    "seconds",
+    "milliseconds",
+    "microseconds",
+    "nanoseconds",
+    "bits_per_second",
+    "kilobits_per_second",
+    "megabits_per_second",
+    "gigabits_per_second",
+    "bytes_",
+    "kilobytes",
+    "kibibytes",
+    "megabytes",
+    "mebibytes",
+    "gigabytes",
+    "transmission_delay",
+    "bandwidth_delay_product_packets",
+]

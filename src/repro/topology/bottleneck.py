@@ -1,0 +1,109 @@
+"""Single-bottleneck topology: N sources, N sinks, one shared link.
+
+Used by the Fig. 1 convergence/fairness study (4 flows, 1 Gbps, RTT
+225 µs) and the Fig. 3(b)/Fig. 6 fairness experiment (4 flows with
+different subflow counts, 300 Mbps, RTT 1.8 ms).
+
+Geometry::
+
+    S0 ─┐                   ┌─ D0
+    S1 ─┤                   ├─ D1
+        ├─ SWL ══════ SWR ──┤
+    ...                      ...
+
+Access links run at ten times the bottleneck rate with deep DropTail
+queues so that marking and queueing happen only at the bottleneck; the
+round-trip propagation time is split so the no-load RTT matches the
+requested value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.network import Network
+from repro.net.queue import DropTailQueue, ThresholdECNQueue
+from repro.net.routing import Path
+
+
+class BottleneckNetwork(Network):
+    """A :class:`Network` with the bottleneck's parameters attached."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.num_pairs = 0
+        self.bottleneck_rate_bps = 0.0
+        self.base_rtt = 0.0
+        self.forward_bottleneck = None
+        self.backward_bottleneck = None
+
+    def source(self, index: int) -> str:
+        """Name of the ``index``-th source host."""
+        return f"S{index}"
+
+    def sink(self, index: int) -> str:
+        """Name of the ``index``-th sink host."""
+        return f"D{index}"
+
+    def flow_path(self, index: int) -> Path:
+        """The unique path from source ``index`` to sink ``index``."""
+        paths = self.paths(self.source(index), self.sink(index))
+        if not paths:
+            raise RuntimeError(f"no path for pair {index}")
+        return paths[0]
+
+
+def build_single_bottleneck(
+    num_pairs: int = 4,
+    bottleneck_rate_bps: float = 1e9,
+    rtt: float = 225e-6,
+    queue_capacity: int = 100,
+    marking_threshold: Optional[int] = 10,
+    access_queue_capacity: int = 1000,
+) -> BottleneckNetwork:
+    """Build the topology; ``marking_threshold=None`` makes it pure DropTail.
+
+    The bottleneck queue in each direction is a
+    :class:`~repro.net.queue.ThresholdECNQueue` with the given K (the
+    paper's packet-marking rule); access links never mark.
+    """
+    if num_pairs < 1:
+        raise ValueError(f"need at least one pair, got {num_pairs}")
+    if rtt <= 0:
+        raise ValueError(f"rtt must be positive, got {rtt}")
+    net = BottleneckNetwork()
+    net.num_pairs = num_pairs
+    net.bottleneck_rate_bps = bottleneck_rate_bps
+    net.base_rtt = rtt
+
+    left = net.add_switch("SWL")
+    right = net.add_switch("SWR")
+
+    # One-way propagation budget rtt/2, split equally over the three hops.
+    hop_delay = rtt / 6.0
+    access_rate = bottleneck_rate_bps * 10.0
+
+    def bottleneck_queue() -> DropTailQueue:
+        if marking_threshold is None:
+            return DropTailQueue(queue_capacity)
+        return ThresholdECNQueue(queue_capacity, marking_threshold)
+
+    net.forward_bottleneck, net.backward_bottleneck = net.connect(
+        left, right, bottleneck_rate_bps, hop_delay,
+        queue_factory=bottleneck_queue, layer="bottleneck",
+    )
+
+    def access_queue() -> DropTailQueue:
+        return DropTailQueue(access_queue_capacity)
+
+    for index in range(num_pairs):
+        source = net.add_host(f"S{index}")
+        sink = net.add_host(f"D{index}")
+        net.connect(source, left, access_rate, hop_delay,
+                    queue_factory=access_queue, layer="access")
+        net.connect(right, sink, access_rate, hop_delay,
+                    queue_factory=access_queue, layer="access")
+    return net
+
+
+__all__ = ["BottleneckNetwork", "build_single_bottleneck"]

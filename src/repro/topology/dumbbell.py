@@ -1,0 +1,90 @@
+"""Dumbbell topology: N pairs over one bottleneck with per-pair RTTs.
+
+A generalization of :mod:`repro.topology.bottleneck` where each
+source/sink pair can have its own base RTT — the canonical setup for
+RTT-fairness studies (window-based AIMD favours short-RTT flows; BOS's
+once-per-round growth inherits that bias, which multipath RTT mismatch
+makes relevant to XMP).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.net.network import Network
+from repro.net.queue import DropTailQueue, ThresholdECNQueue
+from repro.net.routing import Path
+
+
+class DumbbellNetwork(Network):
+    """Network plus the per-pair RTT table."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.bottleneck_rate_bps = 0.0
+        self.pair_rtts: list = []
+        self.forward_bottleneck = None
+        self.backward_bottleneck = None
+
+    def flow_path(self, index: int) -> Path:
+        """The unique path from source ``index`` to sink ``index``."""
+        paths = self.paths(f"S{index}", f"D{index}")
+        if not paths:
+            raise RuntimeError(f"no path for pair {index}")
+        return paths[0]
+
+
+def build_dumbbell(
+    pair_rtts: Sequence[float],
+    bottleneck_rate_bps: float = 1e9,
+    queue_capacity: int = 100,
+    marking_threshold: Optional[int] = 10,
+    bottleneck_delay: Optional[float] = None,
+) -> DumbbellNetwork:
+    """Build a dumbbell whose pair ``i`` has base RTT ``pair_rtts[i]``.
+
+    The bottleneck link contributes ``bottleneck_delay`` (defaults to a
+    third of the smallest pair RTT, split over the round trip); each
+    pair's access links absorb the remainder of that pair's RTT budget.
+    """
+    if not pair_rtts:
+        raise ValueError("need at least one pair")
+    if any(rtt <= 0 for rtt in pair_rtts):
+        raise ValueError("all RTTs must be positive")
+    net = DumbbellNetwork()
+    net.bottleneck_rate_bps = bottleneck_rate_bps
+    net.pair_rtts = list(pair_rtts)
+
+    min_rtt = min(pair_rtts)
+    if bottleneck_delay is None:
+        bottleneck_delay = min_rtt / 6.0
+    if 2 * bottleneck_delay >= min_rtt:
+        raise ValueError("bottleneck delay exceeds the smallest RTT budget")
+
+    left = net.add_switch("SWL")
+    right = net.add_switch("SWR")
+
+    def bottleneck_queue() -> DropTailQueue:
+        if marking_threshold is None:
+            return DropTailQueue(queue_capacity)
+        return ThresholdECNQueue(queue_capacity, marking_threshold)
+
+    net.forward_bottleneck, net.backward_bottleneck = net.connect(
+        left, right, bottleneck_rate_bps, bottleneck_delay,
+        queue_factory=bottleneck_queue, layer="bottleneck",
+    )
+
+    access_rate = bottleneck_rate_bps * 10.0
+    for index, rtt in enumerate(pair_rtts):
+        # One-way budget: rtt/2 = access_src + bottleneck + access_dst.
+        access_delay = (rtt / 2.0 - bottleneck_delay) / 2.0
+        source = net.add_host(f"S{index}")
+        sink = net.add_host(f"D{index}")
+        net.connect(source, left, access_rate, access_delay,
+                    queue_factory=lambda: DropTailQueue(1000), layer="access")
+        net.connect(right, sink, access_rate, access_delay,
+                    queue_factory=lambda: DropTailQueue(1000), layer="access")
+    return net
+
+
+__all__ = ["DumbbellNetwork", "build_dumbbell"]

@@ -1,0 +1,104 @@
+"""The k-ary fat tree (Al-Fares et al., SIGCOMM 2008) the paper evaluates in.
+
+For port count ``k`` (even): ``k`` pods; each pod has ``k/2`` edge (rack)
+switches and ``k/2`` aggregation switches; ``(k/2)^2`` core switches; each
+edge switch hosts ``k/2`` machines.  Between inter-pod hosts there are
+``(k/2)^2`` equal-cost paths — the path diversity MPTCP exploits.
+
+The paper's instance is k=8 (128 hosts, 80 switches); our experiments
+default to k=4 (16 hosts, 20 switches) for wall-clock reasons, with the
+per-link parameters kept at the paper's values: 1 Gbps everywhere, one-way
+delays of 20/30/40 µs at the rack/aggregation/core layer (no-load RTTs
+between ~80 µs inner-rack and ~360 µs inter-pod plus serialization — the
+paper's "105 µs to 435 µs"), marking threshold K=10, queues of 100 packets.
+
+Hosts are named ``h_<pod>_<edge>_<index>``; link layers are tagged
+``rack`` / ``aggregation`` / ``core`` for Fig. 11's per-layer utilization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.net.network import Network
+from repro.net.queue import DropTailQueue, ThresholdECNQueue
+
+
+class FatTreeNetwork(Network):
+    """Network plus fat-tree metadata (k, host naming, flow categories)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.k = 0
+        self.host_names: List[str] = []
+
+    @staticmethod
+    def parse_host(name: str) -> Tuple[int, int, int]:
+        """``h_<pod>_<edge>_<index>`` -> (pod, edge, index)."""
+        _, pod, edge, index = name.split("_")
+        return int(pod), int(edge), int(index)
+
+    def category(self, src: str, dst: str) -> str:
+        """The paper's flow categories (§5.2.2).
+
+        ``inner-rack`` (same edge switch), ``inter-rack`` (same pod,
+        different racks) or ``inter-pod``.
+        """
+        src_pod, src_edge, _ = self.parse_host(src)
+        dst_pod, dst_edge, _ = self.parse_host(dst)
+        if src_pod != dst_pod:
+            return "inter-pod"
+        if src_edge != dst_edge:
+            return "inter-rack"
+        return "inner-rack"
+
+    def same_rack(self, src: str, dst: str) -> bool:
+        """Whether two hosts hang off the same edge switch."""
+        return self.category(src, dst) == "inner-rack"
+
+
+def build_fattree(
+    k: int = 4,
+    link_rate_bps: float = 1e9,
+    rack_delay: float = 20e-6,
+    aggregation_delay: float = 30e-6,
+    core_delay: float = 40e-6,
+    queue_capacity: int = 100,
+    marking_threshold: int = 10,
+) -> FatTreeNetwork:
+    """Build a k-ary fat tree with the paper's §5.2.1 defaults."""
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"k must be an even integer >= 2, got {k}")
+    net = FatTreeNetwork()
+    net.k = k
+    half = k // 2
+
+    def queue() -> DropTailQueue:
+        return ThresholdECNQueue(queue_capacity, marking_threshold)
+
+    cores = [
+        net.add_switch(f"core_{i}_{j}") for i in range(half) for j in range(half)
+    ]
+
+    for pod in range(k):
+        aggs = [net.add_switch(f"agg_{pod}_{a}") for a in range(half)]
+        edges = [net.add_switch(f"edge_{pod}_{e}") for e in range(half)]
+        for a, agg in enumerate(aggs):
+            # Aggregation switch a connects to cores a*half .. a*half+half-1.
+            for j in range(half):
+                core = cores[a * half + j]
+                net.connect(agg, core, link_rate_bps, core_delay,
+                            queue_factory=queue, layer="core")
+            for edge in edges:
+                net.connect(edge, agg, link_rate_bps, aggregation_delay,
+                            queue_factory=queue, layer="aggregation")
+        for e, edge in enumerate(edges):
+            for h in range(half):
+                host = net.add_host(f"h_{pod}_{e}_{h}")
+                net.connect(host, edge, link_rate_bps, rack_delay,
+                            queue_factory=queue, layer="rack")
+                net.host_names.append(host.name)
+    return net
+
+
+__all__ = ["FatTreeNetwork", "build_fattree"]

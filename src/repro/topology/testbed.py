@@ -1,0 +1,111 @@
+"""The Fig. 3(a) traffic-shifting testbed.
+
+Two independent 300 Mbps bottlenecks (the paper's DummyNet boxes DN1 and
+DN2).  Flow 1 crosses DN1, Flow 3 crosses DN2, and Flow 2 is multihomed —
+one subflow over each bottleneck.  A background host pair sits on each
+bottleneck for the 10-20 s / 20-30 s perturbations of Fig. 4.
+
+Geometry (forward direction)::
+
+    S1 ──┐                      ┌── D1
+    S2 ──┤ A1 ═══ 300M ═══ B1 ──┤── D2
+    BG1 ─┘                      └── BGD1
+    S2 ──┐                      ┌── D2
+    S3 ──┤ A2 ═══ 300M ═══ B2 ──┤── D3
+    BG2 ─┘                      └── BGD2
+
+(S2 and D2 attach to both sides — the multihoming.)
+"""
+
+from __future__ import annotations
+
+from repro.net.network import Network
+from repro.net.queue import DropTailQueue, ThresholdECNQueue
+from repro.net.routing import Path
+
+
+class ShiftingTestbed(Network):
+    """Network plus named paths for the Fig. 4 experiment."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.bottleneck_rate_bps = 0.0
+        self.base_rtt = 0.0
+
+    # Paths -------------------------------------------------------------
+
+    def path_flow1(self) -> Path:
+        """S1 -> D1 via DN1."""
+        return self.paths("S1", "D1")[0]
+
+    def path_flow3(self) -> Path:
+        """S3 -> D3 via DN2."""
+        return self.paths("S3", "D3")[0]
+
+    def paths_flow2(self) -> list:
+        """S2 -> D2: one path via DN1, one via DN2 (in that order)."""
+        all_paths = self.paths("S2", "D2")
+        if len(all_paths) != 2:
+            raise RuntimeError(f"expected 2 paths for flow 2, got {len(all_paths)}")
+        # Order deterministically: the path through A1 first.
+        return sorted(all_paths, key=lambda p: p[0].dst.name)
+
+    def path_background(self, bottleneck: int) -> Path:
+        """BG{i} -> BGD{i} via DN{i} (``bottleneck`` is 1 or 2)."""
+        return self.paths(f"BG{bottleneck}", f"BGD{bottleneck}")[0]
+
+
+def build_shifting_testbed(
+    bottleneck_rate_bps: float = 300e6,
+    rtt: float = 1.8e-3,
+    queue_capacity: int = 100,
+    marking_threshold: int = 15,
+) -> ShiftingTestbed:
+    """Build the testbed with the paper's §4 parameters as defaults.
+
+    300 Mbps bottlenecks, 1.8 ms average RTT (BDP ≈ 45 packets), K = 15,
+    100-packet queues.
+    """
+    net = ShiftingTestbed()
+    net.bottleneck_rate_bps = bottleneck_rate_bps
+    net.base_rtt = rtt
+
+    hop_delay = rtt / 6.0
+    access_rate = 1e9
+
+    def bottleneck_queue() -> DropTailQueue:
+        return ThresholdECNQueue(queue_capacity, marking_threshold)
+
+    def access_queue() -> DropTailQueue:
+        return DropTailQueue(1000)
+
+    switches = {}
+    for i in (1, 2):
+        switches[f"A{i}"] = net.add_switch(f"A{i}")
+        switches[f"B{i}"] = net.add_switch(f"B{i}")
+        net.connect(
+            switches[f"A{i}"], switches[f"B{i}"], bottleneck_rate_bps,
+            hop_delay, queue_factory=bottleneck_queue, layer="bottleneck",
+        )
+
+    def attach(host_name: str, switch_name: str) -> None:
+        host = net.hosts.get(host_name) or net.add_host(host_name)
+        net.connect(host, switches[switch_name], access_rate, hop_delay,
+                    queue_factory=access_queue, layer="access")
+
+    attach("S1", "A1")
+    attach("D1", "B1")
+    attach("S3", "A2")
+    attach("D3", "B2")
+    attach("S2", "A1")
+    attach("S2", "A2")
+    attach("D2", "B1")
+    attach("D2", "B2")
+    attach("BG1", "A1")
+    attach("BGD1", "B1")
+    attach("BG2", "A2")
+    attach("BGD2", "B2")
+    return net
+
+
+__all__ = ["ShiftingTestbed", "build_shifting_testbed"]

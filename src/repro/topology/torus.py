@@ -1,0 +1,126 @@
+"""The Fig. 5 torus: a ring of five bottlenecks for rate compensation.
+
+Bottleneck links L1..L5 have capacities 0.8, 1.2, 2, 1.5 and 0.5 Gbps.
+Flow *i* (1-based) has two subflows: one across L_i, one across L_{i+1}
+(wrapping), so every bottleneck is shared by two neighbouring flows —
+which is what lets a congestion event on L3 ripple around the ring
+("attenuated Dominos").  Four background host pairs sit on L3 for the
+25-45 s perturbation, and L3 itself can be taken down (the 60 s event).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.queue import DropTailQueue, ThresholdECNQueue
+from repro.net.routing import Path
+
+#: The paper's bottleneck capacities, left to right, bits/second.
+DEFAULT_CAPACITIES = (0.8e9, 1.2e9, 2.0e9, 1.5e9, 0.5e9)
+
+
+class TorusNetwork(Network):
+    """Network plus helpers naming the paper's flows and links."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.num_bottlenecks = 0
+        self.base_rtt = 0.0
+        self.bottlenecks: List[Link] = []
+
+    def bottleneck(self, index: int) -> Link:
+        """Forward direction of L{index} (1-based, as in the paper)."""
+        return self.bottlenecks[index - 1]
+
+    def flow_paths(self, index: int) -> List[Path]:
+        """The two subflow paths of Flow ``index`` (1-based).
+
+        Subflow 1 crosses L_index; subflow 2 crosses L_{index+1} (wrapped),
+        matching the paper's left-to-right, top-down numbering.
+        """
+        n = self.num_bottlenecks
+        first = self._path_via(index, index)
+        second = self._path_via(index, index % n + 1)
+        return [first, second]
+
+    def _path_via(self, flow_index: int, bottleneck_index: int) -> Path:
+        src = f"S{flow_index}"
+        dst = f"D{flow_index}"
+        for path in self.paths(src, dst):
+            if self.bottlenecks[bottleneck_index - 1] in path:
+                return path
+        raise RuntimeError(
+            f"no path for flow {flow_index} via L{bottleneck_index}"
+        )
+
+    def background_path(self, index: int) -> Path:
+        """BG{index} -> BGD{index}, all crossing L3 (1-based index)."""
+        return self.paths(f"BG{index}", f"BGD{index}")[0]
+
+
+def build_torus(
+    capacities: Sequence[float] = DEFAULT_CAPACITIES,
+    rtt: float = 350e-6,
+    queue_capacity: int = 100,
+    marking_threshold: int = 20,
+    num_background: int = 4,
+) -> TorusNetwork:
+    """Build the torus with the paper's §5.1 parameters as defaults.
+
+    Every path's no-load RTT is ``rtt`` (350 µs in the paper, giving BDPs
+    between 15 and 60 packets across the five capacities).
+    """
+    if len(capacities) < 2:
+        raise ValueError("need at least two bottlenecks")
+    net = TorusNetwork()
+    net.num_bottlenecks = len(capacities)
+    net.base_rtt = rtt
+
+    hop_delay = rtt / 6.0
+    access_rate = 10e9
+
+    def marking_queue() -> DropTailQueue:
+        return ThresholdECNQueue(queue_capacity, marking_threshold)
+
+    def access_queue() -> DropTailQueue:
+        return DropTailQueue(1000)
+
+    heads = []
+    tails = []
+    for i, capacity in enumerate(capacities, start=1):
+        head = net.add_switch(f"A{i}")
+        tail = net.add_switch(f"B{i}")
+        forward, _ = net.connect(
+            head, tail, capacity, hop_delay,
+            queue_factory=marking_queue, layer="bottleneck",
+        )
+        net.bottlenecks.append(forward)
+        heads.append(head)
+        tails.append(tail)
+
+    n = len(capacities)
+    for i in range(1, n + 1):
+        src = net.add_host(f"S{i}")
+        dst = net.add_host(f"D{i}")
+        # Subflow 1 via L_i, subflow 2 via L_{i+1} (wrapping).
+        for j in (i, i % n + 1):
+            net.connect(src, heads[j - 1], access_rate, hop_delay,
+                        queue_factory=access_queue, layer="access")
+            net.connect(tails[j - 1], dst, access_rate, hop_delay,
+                        queue_factory=access_queue, layer="access")
+
+    l3_head = heads[2] if n >= 3 else heads[0]
+    l3_tail = tails[2] if n >= 3 else tails[0]
+    for b in range(1, num_background + 1):
+        src = net.add_host(f"BG{b}")
+        dst = net.add_host(f"BGD{b}")
+        net.connect(src, l3_head, access_rate, hop_delay,
+                    queue_factory=access_queue, layer="access")
+        net.connect(l3_tail, dst, access_rate, hop_delay,
+                    queue_factory=access_queue, layer="access")
+    return net
+
+
+__all__ = ["TorusNetwork", "build_torus", "DEFAULT_CAPACITIES"]

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.queue import ThresholdECNQueue
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def two_host_net() -> Network:
+    """Two hosts joined through one switch; 1 Gbps, ~60 us one-way.
+
+    The simplest network a transport connection can run on; bottleneck
+    marking threshold 10, queue 100 (the paper's fat-tree values).
+    """
+    net = Network()
+    a = net.add_host("A")
+    b = net.add_host("B")
+    s = net.add_switch("SW")
+    queue = lambda: ThresholdECNQueue(100, 10)
+    net.connect(a, s, 1e9, 30e-6, queue_factory=queue)
+    net.connect(s, b, 1e9, 30e-6, queue_factory=queue)
+    return net
+
+
+def path_between(net: Network, src: str, dst: str):
+    """The unique shortest path between two hosts (helper for tests)."""
+    paths = net.paths(src, dst)
+    assert paths, f"no path {src} -> {dst}"
+    return paths[0]

@@ -1,0 +1,146 @@
+"""Cross-module behavioural invariants — the paper's claims in miniature.
+
+Each test runs a small simulation and asserts a property the design
+guarantees: bounded buffer occupancy, full utilization at the Eq. 1
+threshold, no losses under marking, coupled fairness, and the
+throughput/latency trade-off between schemes.
+"""
+
+import pytest
+
+from repro.core.utility import min_marking_threshold
+from repro.metrics.collector import QueueMonitor
+from repro.metrics.fairness import jain_index
+from repro.mptcp.connection import MptcpConnection
+from repro.sim.units import bandwidth_delay_product_packets
+from repro.topology.bottleneck import build_single_bottleneck
+
+
+def run_flows(net, specs, duration):
+    """specs: list of (scheme, subflow_count, pair_index)."""
+    connections = []
+    for scheme, count, index in specs:
+        path = net.flow_path(index)
+        conn = MptcpConnection(
+            net, f"S{index}", f"D{index}", [path] * count, scheme=scheme
+        )
+        conn.start()
+        connections.append(conn)
+    net.sim.run(until=duration)
+    return connections
+
+
+class TestBufferOccupancy:
+    def test_xmp_queue_stays_near_k(self):
+        net = build_single_bottleneck(num_pairs=2, marking_threshold=10)
+        monitor = QueueMonitor(net.sim, [net.forward_bottleneck], 0.001)
+        monitor.start()
+        run_flows(net, [("xmp", 1, 0), ("xmp", 1, 1)], 0.3)
+        name = net.forward_bottleneck.name
+        # Instantaneous threshold marking: the queue overshoots K only by
+        # about the in-flight reaction window, never the 100-packet cap.
+        assert monitor.max_occupancy(name) < 45
+        assert monitor.mean_occupancy(name) < 15
+
+    def test_tcp_fills_droptail_queue(self):
+        net = build_single_bottleneck(num_pairs=1, marking_threshold=None)
+        monitor = QueueMonitor(net.sim, [net.forward_bottleneck], 0.001)
+        monitor.start()
+        run_flows(net, [("tcp", 1, 0)], 0.3)
+        # Loss-driven control rides the buffer to the brim.
+        assert monitor.max_occupancy(net.forward_bottleneck.name) >= 95
+
+    def test_no_drops_with_marking(self):
+        net = build_single_bottleneck(num_pairs=4, marking_threshold=10)
+        run_flows(net, [("xmp", 1, i) for i in range(4)], 0.3)
+        assert net.total_dropped() == 0
+        assert net.total_marked() > 0
+
+
+class TestEquation1Utilization:
+    def test_threshold_at_bound_keeps_link_busy(self):
+        rate, rtt = 1e9, 225e-6
+        bdp = bandwidth_delay_product_packets(rate, rtt)
+        beta = 4.0
+        threshold = int(min_marking_threshold(bdp, beta)) + 1
+        net = build_single_bottleneck(
+            num_pairs=1, bottleneck_rate_bps=rate, rtt=rtt,
+            marking_threshold=threshold,
+        )
+        run_flows(net, [("xmp", 1, 0)], 0.5)
+        assert net.forward_bottleneck.utilization(0.5) > 0.93
+
+    def test_threshold_far_below_bound_loses_throughput(self):
+        net = build_single_bottleneck(
+            num_pairs=1, bottleneck_rate_bps=1e9, rtt=225e-6,
+            marking_threshold=1,
+        )
+        run_flows(net, [("xmp", 1, 0)], 0.5)
+        assert net.forward_bottleneck.utilization(0.5) < 0.93
+
+
+class TestCoupledFairness:
+    def test_xmp_flows_share_equally(self):
+        net = build_single_bottleneck(num_pairs=4, marking_threshold=10)
+        connections = run_flows(net, [("xmp", 1, i) for i in range(4)], 0.4)
+        rates = [c.delivered_bytes for c in connections]
+        assert jain_index(rates) > 0.95
+
+    def test_multi_subflow_flow_not_advantaged(self):
+        net = build_single_bottleneck(num_pairs=2, marking_threshold=10)
+        conns = run_flows(net, [("xmp", 3, 0), ("xmp", 1, 1)], 0.4)
+        three_subflows, single = (c.delivered_bytes for c in conns)
+        assert three_subflows < 1.6 * single
+
+    def test_uncoupled_subflows_do_grab_more(self):
+        # The ablation: without TraSh the 3-subflow flow behaves like
+        # three independent BOS flows and takes ~3x.
+        net = build_single_bottleneck(num_pairs=2, marking_threshold=10)
+        conns = run_flows(
+            net, [("bos-uncoupled", 3, 0), ("bos-uncoupled", 1, 1)], 0.4
+        )
+        uncoupled, single = (c.delivered_bytes for c in conns)
+        assert uncoupled > 2.0 * single
+
+
+class TestThroughputLatencyTradeoff:
+    def test_xmp_and_dctcp_keep_rtt_low_tcp_does_not(self):
+        def observed_rtt(scheme, threshold):
+            net = build_single_bottleneck(
+                num_pairs=1, marking_threshold=threshold, rtt=225e-6
+            )
+            conns = run_flows(net, [(scheme, 1, 0)], 0.3)
+            return conns[0].subflows[0].sender.srtt
+
+        rtt_xmp = observed_rtt("xmp", 10)
+        rtt_tcp = observed_rtt("tcp", None)
+        # TCP queues ~100 packets (1.2 ms); XMP holds ~K (0.12 ms).
+        assert rtt_xmp < 0.5e-3
+        assert rtt_tcp > 2 * rtt_xmp
+
+    def test_non_ecn_tcp_dominates_one_shared_marked_queue(self):
+        # Known ECN-coexistence behaviour: on a *single* shared queue a
+        # loss-driven flow ignores the marks, keeps the queue above K, and
+        # squeezes the ECN flow.  (Table 2's XMP > TCP result lives in the
+        # fat tree, where multipath shifting and TCP's RTO penalties
+        # reverse this — see test_experiments_fattree / the Table 2 bench.)
+        net = build_single_bottleneck(num_pairs=2, marking_threshold=10)
+        conns = run_flows(net, [("xmp", 1, 0), ("tcp", 1, 1)], 0.4)
+        xmp_bytes, tcp_bytes = (c.delivered_bytes for c in conns)
+        assert tcp_bytes > xmp_bytes
+        # The XMP flow survives at its floor rather than being shut out.
+        assert xmp_bytes > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_bitwise_equal(self):
+        def run_once():
+            net = build_single_bottleneck(num_pairs=2, marking_threshold=10)
+            conns = run_flows(net, [("xmp", 2, 0), ("dctcp", 1, 1)], 0.2)
+            return (
+                [c.delivered_segments for c in conns],
+                net.sim.events_processed,
+                net.total_marked(),
+            )
+
+        assert run_once() == run_once()

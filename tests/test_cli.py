@@ -1,0 +1,79 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig4", "table1", "jct"):
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_fig4_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.beta == 4.0
+        assert args.time_scale == 0.2
+
+    def test_fig7_options(self):
+        args = build_parser().parse_args(
+            ["fig7", "--beta", "5", "--threshold", "15"]
+        )
+        assert args.beta == 5.0
+        assert args.threshold == 15
+
+    def test_table1_patterns(self):
+        args = build_parser().parse_args(
+            ["table1", "--patterns", "permutation"]
+        )
+        assert args.patterns == ["permutation"]
+
+
+class TestExecution:
+    """Each runner executes end-to-end at a tiny scale."""
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--interval", "0.1", "--scheme", "bos"]) == 0
+        out = capsys.readouterr().out
+        assert "Jain" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--time-scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "subflow 1" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--time-scale", "0.05"]) == 0
+        assert "Jain index" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--time-scale", "0.01"]) == 0
+        assert "flow3-1" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main([
+            "table1", "--duration", "0.05", "--patterns", "permutation",
+        ]) == 0
+        assert "XMP-2" in capsys.readouterr().out
+
+    def test_jct(self, capsys):
+        assert main(["jct", "--duration", "0.2"]) == 0
+        assert "Job Completion Time" in capsys.readouterr().out
+
+    def test_rtt(self, capsys):
+        assert main(["rtt", "--duration", "0.05"]) == 0
+        assert "RTT by category" in capsys.readouterr().out
+
+    def test_utilization(self, capsys):
+        assert main(["utilization", "--duration", "0.05"]) == 0
+        assert "utilization by layer" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Determinism of experiment drivers: same config, bit-identical results.
+
+Reproducibility is a headline property for a simulation release; these
+tests pin it at the driver level (the engine-level test lives in
+test_behavior_invariants).
+"""
+
+import dataclasses
+
+from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.fig4_traffic_shifting import Fig4Config, run_fig4
+from repro.experiments.fig6_fairness import Fig6Config, run_fig6
+
+TINY = FatTreeScenario(
+    duration=0.05,
+    perm_size_min=50_000,
+    perm_size_max=150_000,
+    seed=9,
+)
+
+
+class TestFatTreeDeterminism:
+    def fingerprint(self, result):
+        return (
+            tuple(
+                (r.flow_id, r.src, r.dst, r.delivered_bytes, r.complete_time)
+                for label in sorted(result.records)
+                for r in result.records[label]
+            ),
+            result.total_marked,
+            result.total_dropped,
+            result.events,
+        )
+
+    def test_same_seed_identical(self):
+        a = run_fattree(TINY, use_cache=False)
+        b = run_fattree(TINY, use_cache=False)
+        assert self.fingerprint(a) == self.fingerprint(b)
+
+    def test_different_seed_differs(self):
+        a = run_fattree(TINY, use_cache=False)
+        b = run_fattree(dataclasses.replace(TINY, seed=10), use_cache=False)
+        assert self.fingerprint(a) != self.fingerprint(b)
+
+    def test_scenario_hashable_and_equal(self):
+        assert TINY == dataclasses.replace(TINY)
+        assert hash(TINY) == hash(dataclasses.replace(TINY))
+        assert TINY != dataclasses.replace(TINY, seed=10)
+
+
+class TestSmallDriverDeterminism:
+    def test_fig4_repeatable(self):
+        config = Fig4Config(time_scale=0.02)
+        a = run_fig4(config)
+        b = run_fig4(config)
+        assert a.times == b.times
+        assert a.rates == b.rates
+
+    def test_fig6_repeatable(self):
+        config = Fig6Config(time_scale=0.02)
+        a = run_fig6(config)
+        b = run_fig6(config)
+        assert a.rates == b.rates
+
+    def test_fig4_series_shapes(self):
+        result = run_fig4(Fig4Config(time_scale=0.02))
+        for series in result.rates.values():
+            assert len(series) == len(result.times)

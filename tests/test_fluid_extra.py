@@ -1,0 +1,83 @@
+"""Additional fluid-model and analysis cross-checks (hypothesis-based)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analysis, fluid, utility
+
+
+class TestFluidAnalysisConsistency:
+    @given(
+        bdp=st.floats(5.0, 100.0),
+        beta=st.floats(2.0, 6.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sawtooth_peak_exceeds_trough_by_one_beta_cut(self, bdp, beta):
+        prediction = analysis.predict_sawtooth(bdp, bdp / 2, beta)
+        if prediction.w_min > 2.0:  # not floored
+            assert prediction.w_min == pytest.approx(
+                prediction.w_max * (1 - 1 / beta)
+            )
+
+    @given(threshold=st.floats(1.0, 50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_more_k_never_hurts_utilization(self, threshold):
+        low = analysis.predict_sawtooth(30.0, threshold, 4.0).utilization
+        high = analysis.predict_sawtooth(30.0, threshold * 1.5, 4.0).utilization
+        assert high >= low - 1e-9
+
+    def test_fluid_equilibrium_against_analysis_queue(self):
+        """The ODE's standing queue and the sawtooth's mean queue should
+        roughly agree for one flow (the ODE smooths the sawtooth)."""
+        bdp_rtt = 225e-6
+        capacity = 1e9
+        bdp = capacity * bdp_rtt / fluid.PACKET_BITS
+        threshold = 10
+        ode = fluid.integrate_shared_link(
+            num_flows=1, capacity_bps=capacity, base_rtt=bdp_rtt,
+            threshold=threshold, duration=0.25,
+        )
+        sawtooth = analysis.predict_sawtooth(bdp, threshold, 4.0)
+        assert ode.steady_state_queue() == pytest.approx(
+            sawtooth.mean_queue_packets, abs=4.0
+        )
+
+    @given(p=st.floats(0.01, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_ode_fixed_point_equals_eq3_inverse(self, p):
+        w_star = utility.equilibrium_window(p, 1.0, 4.0)
+        drift = fluid.bos_window_ode(w_star, p, 1.0, 4.0, 1e-4)
+        assert drift == pytest.approx(0.0, abs=1e-6)
+
+
+class TestFluidTrajectories:
+    def test_alternating_marks_produce_sawtooth(self):
+        """Periodic marking gives a bounded oscillation, not divergence."""
+        period = 0.01
+
+        def p_of_t(t):
+            return 1.0 if (t % period) < 0.0005 else 0.0
+
+        trajectory = fluid.integrate_single_flow(
+            p_of_t, duration=0.2, dt=1e-5, w0=10.0,
+        )
+        tail = trajectory[len(trajectory) // 2:]
+        assert max(tail) < 300
+        assert min(tail) >= 1.0
+        assert max(tail) - min(tail) > 1.0  # genuinely oscillating
+
+    def test_result_sampling_consistency(self):
+        result = fluid.integrate_shared_link(
+            num_flows=3, capacity_bps=1e9, base_rtt=2e-4,
+            threshold=10, duration=0.05,
+        )
+        assert len(result.times) == len(result.queue)
+        for series in result.windows:
+            assert len(series) == len(result.times)
+        assert result.times == sorted(result.times)
+
+    def test_steady_state_empty_result(self):
+        empty = fluid.FluidLinkResult()
+        assert empty.steady_state_windows() == []
+        assert empty.steady_state_queue() == 0.0

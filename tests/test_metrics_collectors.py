@@ -1,0 +1,150 @@
+"""Tests for the periodic samplers and link utilization helpers."""
+
+import pytest
+
+from repro.metrics.collector import QueueMonitor, RateSampler, RttSampler
+from repro.metrics.utilization import link_utilizations, utilization_by_layer
+from repro.mptcp.connection import MptcpConnection
+from repro.net.packet import MSS_BYTES
+
+
+class TestRateSampler:
+    def test_measures_delivery_rate(self, two_host_net):
+        net = two_host_net
+        conn = MptcpConnection(net, "A", "B", net.paths("A", "B"), scheme="xmp")
+        sampler = RateSampler(
+            net.sim, {"f": conn.subflows[0].sender}, interval=0.01, until=0.1
+        )
+        sampler.start(0.01)
+        conn.start()
+        net.sim.run(until=0.1)
+        # Steady samples should sit near line rate (1 Gbps payload-scaled).
+        steady = sampler.rates["f"][3:]
+        assert all(rate > 0.5e9 for rate in steady)
+
+    def test_rate_times_interval_matches_delivery(self, two_host_net):
+        net = two_host_net
+        conn = MptcpConnection(net, "A", "B", net.paths("A", "B"), scheme="xmp")
+        sampler = RateSampler(
+            net.sim, {"f": conn.subflows[0].sender}, interval=0.01, until=0.2
+        )
+        sampler.start(0.01)
+        conn.start()
+        net.sim.run(until=0.2)
+        total_from_rates = sum(sampler.rates["f"]) * 0.01 / 8.0
+        delivered = conn.subflows[0].sender.delivered_segments * MSS_BYTES
+        assert total_from_rates == pytest.approx(delivered, rel=0.1)
+
+    def test_add_sender_pads_history(self, sim):
+        sampler = RateSampler(sim, {}, interval=0.1)
+        sampler.start()
+        sim.run(until=0.35)
+
+        class FakeSender:
+            delivered_segments = 0
+
+        sampler.add_sender("late", FakeSender())
+        assert len(sampler.rates["late"]) == len(sampler.times)
+
+    def test_duplicate_name_rejected(self, sim):
+        class FakeSender:
+            delivered_segments = 0
+
+        sampler = RateSampler(sim, {"a": FakeSender()}, interval=0.1)
+        with pytest.raises(ValueError):
+            sampler.add_sender("a", FakeSender())
+
+    def test_mean_rate_window(self, sim):
+        class FakeSender:
+            delivered_segments = 0
+
+        sender = FakeSender()
+        sampler = RateSampler(sim, {"a": sender}, interval=0.1)
+        sampler.start()
+
+        def bump():
+            sender.delivered_segments += 100
+
+        for i in range(1, 6):
+            sim.schedule(i * 0.1 - 0.05, bump)
+        sim.run(until=0.55)
+        expected = 100 * MSS_BYTES * 8 / 0.1
+        assert sampler.mean_rate("a", 0.05, 0.55) == pytest.approx(expected)
+
+    def test_interval_validation(self, sim):
+        with pytest.raises(ValueError):
+            RateSampler(sim, {}, interval=0.0)
+
+
+class TestQueueMonitor:
+    def test_tracks_occupancy(self, two_host_net):
+        net = two_host_net
+        conn = MptcpConnection(net, "A", "B", net.paths("A", "B"), scheme="xmp")
+        links = [link for link in net.links if link.src.name == "SW"]
+        monitor = QueueMonitor(net.sim, links, interval=0.001, until=0.05)
+        monitor.start()
+        conn.start()
+        net.sim.run(until=0.05)
+        name = links[0].name
+        assert monitor.max_occupancy(name) >= 0
+        assert len(monitor.times) > 10
+
+    def test_stop_halts_sampling(self, sim):
+        monitor = QueueMonitor(sim, [], interval=0.01)
+        monitor.start()
+        sim.schedule(0.05, monitor.stop)
+        sim.run(until=0.2)
+        assert len(monitor.times) <= 7
+
+    def test_empty_stats(self, sim):
+        monitor = QueueMonitor(sim, [], interval=0.01)
+        assert monitor.times == []
+
+
+class TestRttSampler:
+    def test_collects_by_group(self, two_host_net):
+        net = two_host_net
+        conn = MptcpConnection(net, "A", "B", net.paths("A", "B"), scheme="xmp")
+        sampler = RttSampler(net.sim, interval=0.005, until=0.1)
+        sampler.watch("inter-pod", conn.subflows[0].sender)
+        sampler.start(0.005)
+        conn.start()
+        net.sim.run(until=0.1)
+        samples = sampler.samples["inter-pod"]
+        assert samples
+        assert all(sample > 0 for sample in samples)
+
+    def test_completed_sender_not_sampled(self, two_host_net):
+        net = two_host_net
+        conn = MptcpConnection(net, "A", "B", net.paths("A", "B"),
+                               scheme="xmp", size_bytes=100_000)
+        sampler = RttSampler(net.sim, interval=0.01, until=1.0)
+        sampler.watch("g", conn.subflows[0].sender)
+        sampler.start(0.01)
+        conn.start()
+        net.sim.run(until=1.0)
+        count = len(sampler.samples["g"])
+        assert count < 10  # flow finished in a few ms
+
+
+class TestUtilization:
+    def test_utilization_by_layer_shapes(self, two_host_net):
+        net = two_host_net
+        conn = MptcpConnection(net, "A", "B", net.paths("A", "B"), scheme="xmp")
+        conn.start()
+        net.sim.run(until=0.05)
+        result = utilization_by_layer(net.links, 0.05, layers=("",))
+        assert "" in result
+        assert 0.0 <= result[""]["max"] <= 1.0
+
+    def test_busy_link_near_one(self, two_host_net):
+        net = two_host_net
+        conn = MptcpConnection(net, "A", "B", net.paths("A", "B"), scheme="xmp")
+        conn.start()
+        net.sim.run(until=0.1)
+        values = link_utilizations(net.links, 0.1)
+        assert max(values) > 0.8
+
+    def test_duration_validation(self, two_host_net):
+        with pytest.raises(ValueError):
+            link_utilizations(two_host_net.links, 0.0)

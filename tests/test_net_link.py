@@ -1,0 +1,164 @@
+"""Tests for link serialization, propagation and failure behaviour."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.node import Host, Node
+from repro.net.packet import Packet, DATA
+from repro.net.queue import DropTailQueue
+
+
+class Sink(Node):
+    """Records packet arrivals with timestamps."""
+
+    __slots__ = ("arrivals",)
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet))
+
+
+def make_link(sim, rate=1e9, delay=10e-6, capacity=100):
+    src = Sink(sim, "src")
+    dst = Sink(sim, "dst")
+    return Link(sim, "L", src, dst, rate, delay, DropTailQueue(capacity)), dst
+
+
+def data(size=1500):
+    return Packet(DATA, size, 0, 0)
+
+
+class TestTiming:
+    def test_single_packet_arrival_time(self, sim):
+        # serialization (12 us at 1 Gbps for 1500 B) + propagation (10 us).
+        link, dst = make_link(sim)
+        link.enqueue(data())
+        sim.run()
+        assert len(dst.arrivals) == 1
+        assert dst.arrivals[0][0] == pytest.approx(22e-6)
+
+    def test_back_to_back_packets_serialize(self, sim):
+        link, dst = make_link(sim)
+        link.enqueue(data())
+        link.enqueue(data())
+        sim.run()
+        t1, t2 = dst.arrivals[0][0], dst.arrivals[1][0]
+        assert t2 - t1 == pytest.approx(12e-6)  # one serialization time apart
+
+    def test_rate_determines_serialization(self, sim):
+        link, dst = make_link(sim, rate=100e6)  # 10x slower
+        link.enqueue(data())
+        sim.run()
+        assert dst.arrivals[0][0] == pytest.approx(120e-6 + 10e-6)
+
+    def test_small_packet_serializes_faster(self, sim):
+        link, dst = make_link(sim)
+        link.enqueue(data(size=40))
+        sim.run()
+        assert dst.arrivals[0][0] == pytest.approx(40 * 8 / 1e9 + 10e-6)
+
+    def test_fifo_delivery_order(self, sim):
+        link, dst = make_link(sim)
+        packets = [data() for _ in range(5)]
+        for p in packets:
+            link.enqueue(p)
+        sim.run()
+        assert [p for _, p in dst.arrivals] == packets
+
+
+class TestQueueInteraction:
+    def test_queue_holds_only_waiting_packets(self, sim):
+        link, _ = make_link(sim)
+        link.enqueue(data())  # goes straight to the transmitter
+        assert link.occupancy == 0
+        link.enqueue(data())
+        assert link.occupancy == 1
+
+    def test_overflow_drops(self, sim):
+        link, dst = make_link(sim, capacity=2)
+        for _ in range(5):
+            link.enqueue(data())
+        sim.run()
+        # 1 in flight + 2 queued survive.
+        assert len(dst.arrivals) == 3
+        assert link.queue.stats.dropped == 2
+
+    def test_counters(self, sim):
+        link, _ = make_link(sim)
+        for _ in range(3):
+            link.enqueue(data())
+        sim.run()
+        assert link.packets_transmitted == 3
+        assert link.bytes_transmitted == 4500
+        assert link.bytes_offered == 4500
+
+
+class TestUtilization:
+    def test_full_utilization(self, sim):
+        link, _ = make_link(sim)
+        # 1000 packets back to back = 12 ms of airtime.
+        for _ in range(100):
+            link.enqueue(data())
+
+        def refill():
+            if link.occupancy < 50:
+                for _ in range(50):
+                    link.enqueue(data())
+            if sim.now < 0.012:
+                sim.schedule(1e-4, refill)
+
+        sim.schedule(1e-4, refill)
+        sim.run(until=0.012)
+        assert link.utilization(0.012) > 0.95
+
+    def test_idle_utilization_zero(self, sim):
+        link, _ = make_link(sim)
+        assert link.utilization(1.0) == 0.0
+
+    def test_zero_duration(self, sim):
+        link, _ = make_link(sim)
+        assert link.utilization(0.0) == 0.0
+
+
+class TestFailure:
+    def test_down_link_discards(self, sim):
+        link, dst = make_link(sim)
+        link.set_down()
+        link.enqueue(data())
+        sim.run()
+        assert dst.arrivals == []
+        assert link.queue.stats.dropped == 1
+
+    def test_down_flushes_queue(self, sim):
+        link, dst = make_link(sim)
+        for _ in range(5):
+            link.enqueue(data())
+        link.set_down()
+        sim.run()
+        assert dst.arrivals == []
+
+    def test_in_flight_packet_lost_when_down(self, sim):
+        link, dst = make_link(sim)
+        link.enqueue(data())
+        sim.schedule(1e-6, link.set_down)  # mid-serialization
+        sim.run()
+        assert dst.arrivals == []
+
+    def test_recovers_after_set_up(self, sim):
+        link, dst = make_link(sim)
+        link.set_down()
+        link.enqueue(data())
+        link.set_up()
+        link.enqueue(data())
+        sim.run()
+        assert len(dst.arrivals) == 1
+
+    def test_validation(self, sim):
+        src, dst = Sink(sim, "a"), Sink(sim, "b")
+        with pytest.raises(ValueError):
+            Link(sim, "L", src, dst, 0.0, 1e-6)
+        with pytest.raises(ValueError):
+            Link(sim, "L", src, dst, 1e9, -1.0)

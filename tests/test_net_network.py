@@ -1,0 +1,112 @@
+"""Tests for the Network container."""
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.queue import ThresholdECNQueue
+
+
+class TestConstruction:
+    def test_duplicate_host_name_rejected(self):
+        net = Network()
+        net.add_host("A")
+        with pytest.raises(ValueError):
+            net.add_host("A")
+
+    def test_host_switch_name_collision_rejected(self):
+        net = Network()
+        net.add_host("X")
+        with pytest.raises(ValueError):
+            net.add_switch("X")
+
+    def test_connect_creates_two_links(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        net.connect(a, b, 1e9, 1e-6)
+        assert len(net.links) == 2
+        assert {link.name for link in net.links} == {"A->B", "B->A"}
+
+    def test_each_direction_gets_its_own_queue(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        fwd, bwd = net.connect(a, b, 1e9, 1e-6)
+        assert fwd.queue is not bwd.queue
+
+    def test_queue_factory_applied(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        fwd, _ = net.connect(
+            a, b, 1e9, 1e-6, queue_factory=lambda: ThresholdECNQueue(50, 7)
+        )
+        assert fwd.queue.capacity == 50
+        assert fwd.queue.threshold == 7
+
+    def test_layer_tagging(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        net.connect(a, b, 1e9, 1e-6, layer="core")
+        assert len(net.links_by_layer("core")) == 2
+        assert net.links_by_layer("rack") == []
+
+    def test_flow_ids_unique_and_increasing(self):
+        net = Network()
+        ids = [net.next_flow_id() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+
+class TestReversePaths:
+    def test_reverse_of_connected_link(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        fwd, bwd = net.connect(a, b, 1e9, 1e-6)
+        assert net.reverse_of(fwd) is bwd
+        assert net.reverse_of(bwd) is fwd
+
+    def test_reverse_path_retraces_hops(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        s = net.add_switch("S")
+        net.connect(a, s, 1e9, 1e-6)
+        net.connect(s, b, 1e9, 1e-6)
+        path = net.paths("A", "B")[0]
+        reverse = net.reverse_path(path)
+        assert len(reverse) == len(path)
+        assert reverse[0].src is b
+        assert reverse[-1].dst is a
+
+    def test_reverse_of_unpaired_link_raises(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        only = net.add_link(a, b, 1e9, 1e-6)
+        with pytest.raises(ValueError):
+            net.reverse_of(only)
+
+    def test_link_pair_down_and_up(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        fwd, bwd = net.connect(a, b, 1e9, 1e-6)
+        net.set_link_pair_down(fwd)
+        assert not fwd.up and not bwd.up
+        net.set_link_pair_up(fwd)
+        assert fwd.up and bwd.up
+
+
+class TestAggregates:
+    def test_total_counters_start_zero(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        net.connect(a, b, 1e9, 1e-6)
+        assert net.total_dropped() == 0
+        assert net.total_marked() == 0
+
+    def test_path_cache_invalidated_by_new_link(self):
+        net = Network()
+        a, b = net.add_host("A"), net.add_host("B")
+        s1 = net.add_switch("S1")
+        net.connect(a, s1, 1e9, 1e-6)
+        net.connect(s1, b, 1e9, 1e-6)
+        assert len(net.paths("A", "B")) == 1
+        s2 = net.add_switch("S2")
+        net.connect(a, s2, 1e9, 1e-6)
+        net.connect(s2, b, 1e9, 1e-6)
+        assert len(net.paths("A", "B")) == 2

@@ -1,0 +1,203 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These check structural invariants that hold for *any* input: conservation
+of packets through links, cumulative-ACK correctness under arbitrary
+delivery orders, event-ordering of the engine under random schedules, and
+fat-tree path structure for any valid arity.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.packet import DATA, Packet
+from repro.net.queue import DropTailQueue, ThresholdECNQueue
+from repro.sim.engine import Simulator
+from repro.topology.fattree import build_fattree
+from repro.transport.receiver import EchoMode, Receiver
+from repro.net.network import Network
+
+
+class CountingSink(Node):
+    __slots__ = ("count",)
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.count = 0
+
+    def receive(self, packet):
+        self.count += 1
+
+
+class TestLinkConservation:
+    @given(
+        arrivals=st.lists(st.integers(40, 1500), min_size=1, max_size=200),
+        capacity=st.integers(1, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_packets_conserved(self, arrivals, capacity):
+        """offered = delivered + dropped, and delivery order preserved."""
+        sim = Simulator()
+        src = CountingSink(sim, "src")
+        dst = CountingSink(sim, "dst")
+        link = Link(sim, "L", src, dst, 1e9, 1e-6, DropTailQueue(capacity))
+        for size in arrivals:
+            link.enqueue(Packet(DATA, size, 0, 0))
+        sim.run()
+        assert dst.count + link.queue.stats.dropped == len(arrivals)
+        assert dst.count == link.packets_transmitted
+        # Nothing left anywhere.
+        assert link.occupancy == 0
+        assert not link.busy
+
+    @given(
+        threshold=st.integers(0, 60),
+        arrivals=st.integers(1, 150),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_marks_never_exceed_deliveries(self, threshold, arrivals):
+        sim = Simulator()
+        src = CountingSink(sim, "src")
+        dst = CountingSink(sim, "dst")
+        link = Link(sim, "L", src, dst, 1e9, 1e-6,
+                    ThresholdECNQueue(100, threshold))
+        for _ in range(arrivals):
+            link.enqueue(Packet(DATA, 1500, 0, 0, ect=True))
+        sim.run()
+        stats = link.queue.stats
+        assert stats.marked <= stats.enqueued
+        assert dst.count == min(arrivals, 101)  # capacity + 1 in service...
+        # (1 in flight bypasses the queue, the rest bounded by capacity)
+
+
+class TestReceiverPermutations:
+    @given(
+        n=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_delivery_order_yields_full_cumulative_ack(self, n, seed):
+        """Whatever order segments 0..n-1 arrive in, the final cumulative
+        ACK is n and every segment is counted exactly once."""
+        net = Network()
+        a = net.add_host("A")
+        b = net.add_host("B")
+        net.connect(a, b, 1e9, 1e-6)
+        acks = []
+        net.host("A").register(0, 0, acks.append)
+        receiver = Receiver(
+            net.sim, b, 0, 0,
+            net.reverse_path(net.paths("A", "B")[0]),
+            echo_mode=EchoMode.XMP,
+        )
+        order = list(range(n))
+        random.Random(seed).shuffle(order)
+        for seq in order:
+            packet = Packet(DATA, 1500, 0, 0, seq=seq, ts=0.0)
+            packet.hop = 1
+            receiver.receive(packet)
+        net.sim.run()
+        assert receiver.rcv_nxt == n
+        assert receiver.segments_received == n
+        assert acks[-1].ack == n
+
+    @given(
+        n=st.integers(2, 30),
+        seed=st.integers(0, 10_000),
+        ce_every=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_ce_mark_ever_lost(self, n, seed, ce_every):
+        """The 2-bit echo returns exactly as many CEs as were delivered,
+        regardless of delivery order and delayed ACKs."""
+        net = Network()
+        a = net.add_host("A")
+        b = net.add_host("B")
+        net.connect(a, b, 1e9, 1e-6)
+        acks = []
+        net.host("A").register(0, 0, acks.append)
+        receiver = Receiver(
+            net.sim, b, 0, 0,
+            net.reverse_path(net.paths("A", "B")[0]),
+            echo_mode=EchoMode.XMP,
+        )
+        order = list(range(n))
+        random.Random(seed).shuffle(order)
+        marked = 0
+        for seq in order:
+            ce = seq % ce_every == 0
+            marked += ce
+            packet = Packet(DATA, 1500, 0, 0, seq=seq, ts=0.0, ect=True, ce=ce)
+            packet.hop = 1
+            receiver.receive(packet)
+        net.sim.run()
+        assert sum(ack.ece_count for ack in acks) == marked
+
+
+class TestEngineOrdering:
+    @given(
+        delays=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_schedules_fire_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(st.floats(0.0, 10.0), min_size=2, max_size=50),
+        cancel_index=st.integers(0, 48),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancellation_removes_exactly_one(self, delays, cancel_index):
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+            for delay in delays
+        ]
+        victim = events[cancel_index % len(events)]
+        victim.cancel()
+        sim.run()
+        assert len(fired) == len(delays) - 1
+
+
+class TestFatTreeStructure:
+    @given(k=st.sampled_from([2, 4, 6]))
+    @settings(max_examples=10, deadline=None)
+    def test_counts_and_paths(self, k):
+        net = build_fattree(k=k)
+        half = k // 2
+        assert len(net.hosts) == k * half * half
+        assert len(net.switches) == k * k + half * half
+        if k >= 4:
+            hosts = net.host_names
+            # First host of pod 0 vs first host of pod 1: (k/2)^2 paths.
+            inter_pod = net.paths(f"h_0_0_0", f"h_1_0_0")
+            assert len(inter_pod) == half * half
+            # Paths are loop-free and of equal length.
+            lengths = {len(p) for p in inter_pod}
+            assert len(lengths) == 1
+            for path in inter_pod:
+                nodes = [path[0].src] + [link.dst for link in path]
+                assert len(nodes) == len(set(nodes))
+
+    @given(k=st.sampled_from([4, 6]), seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_random_pairs_always_connected(self, k, seed):
+        net = build_fattree(k=k)
+        rng = random.Random(seed)
+        for _ in range(5):
+            src, dst = rng.sample(net.host_names, 2)
+            paths = net.paths(src, dst)
+            assert paths
+            for path in paths:
+                assert path[0].src is net.host(src)
+                assert path[-1].dst is net.host(dst)

@@ -1,0 +1,118 @@
+"""Tests for text reporting helpers, SinglePathFlow and the shared pool."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_cdf,
+    format_series,
+    format_summary,
+    format_table,
+)
+from repro.mptcp.scheduler import SharedSegmentPool
+from repro.transport.cc import RenoCC
+from repro.transport.dctcp import DctcpCC
+from repro.transport.flow import SinglePathFlow, echo_mode_for
+from repro.transport.receiver import EchoMode
+from repro.core.bos import BosCC
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["A", "Blong"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert all("  " in line for line in lines[3:])
+
+    def test_numbers_coerced(self):
+        text = format_table(["x"], [[1.5]])
+        assert "1.5" in text
+
+
+class TestFormatCdf:
+    def test_quantiles_shown(self):
+        text = format_cdf([1, 2, 3, 4, 5], quantiles=(50,), unit="ms")
+        assert "p50=3" in text
+        assert "n=5" in text
+
+    def test_empty(self):
+        assert format_cdf([]) == "(no samples)"
+
+    def test_scaling(self):
+        text = format_cdf([0.001], quantiles=(50,), unit="ms", scale=1e3)
+        assert "p50=1" in text
+
+
+class TestFormatSummaryAndSeries:
+    def test_summary_keys_rendered(self):
+        summary = {"min": 0.0, "p10": 0.1, "p50": 0.5, "p90": 0.9, "max": 1.0}
+        text = format_summary(summary)
+        assert "p50=0.5" in text
+
+    def test_series_bars(self):
+        text = format_series([(0.0, 1.0), (1.0, 2.0)])
+        assert "#" in text
+
+    def test_empty_series(self):
+        assert format_series([]) == "(empty series)"
+
+    def test_all_zero_series(self):
+        assert "0.000" in format_series([(0.0, 0.0)])
+
+
+class TestEchoModeMapping:
+    def test_mapping(self):
+        assert echo_mode_for(BosCC()) is EchoMode.XMP
+        assert echo_mode_for(DctcpCC()) is EchoMode.DCTCP
+        assert echo_mode_for(RenoCC()) is EchoMode.CLASSIC
+
+
+class TestSinglePathFlow:
+    def test_infinite_flow(self, two_host_net):
+        flow = SinglePathFlow(
+            two_host_net, "A", "B", two_host_net.paths("A", "B")[0], BosCC()
+        )
+        flow.start()
+        two_host_net.sim.run(until=0.05)
+        assert not flow.completed
+        assert flow.delivered_bytes > 0
+        assert flow.total_segments is None
+
+    def test_completion_callback(self, two_host_net):
+        seen = []
+        flow = SinglePathFlow(
+            two_host_net, "A", "B", two_host_net.paths("A", "B")[0],
+            BosCC(), size_bytes=100_000, on_complete=seen.append,
+        )
+        flow.start()
+        two_host_net.sim.run(until=0.5)
+        assert seen
+        assert flow.complete_time == seen[0]
+
+    def test_stop(self, two_host_net):
+        flow = SinglePathFlow(
+            two_host_net, "A", "B", two_host_net.paths("A", "B")[0], BosCC()
+        )
+        flow.start()
+        two_host_net.sim.run(until=0.01)
+        flow.stop()
+        delivered = flow.delivered_bytes
+        two_host_net.sim.run(until=0.05)
+        assert flow.delivered_bytes == delivered
+
+
+class TestSharedPool:
+    def test_remaining_tracks_grants(self):
+        pool = SharedSegmentPool(100)
+        pool.take(30)
+        assert pool.remaining == 70
+        pool.take(100)
+        assert pool.remaining == 0
+        assert pool.exhausted
+
+    def test_multiple_consumers_never_over_grant(self):
+        pool = SharedSegmentPool(50)
+        granted = 0
+        for _ in range(10):
+            granted += pool.take(16)
+        assert granted == 50

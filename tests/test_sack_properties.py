@@ -1,0 +1,86 @@
+"""Property tests for SACK block computation and scoreboard behaviour."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.network import Network
+from repro.net.packet import DATA, Packet
+from repro.transport.receiver import EchoMode, Receiver
+
+
+def make_receiver(sack=True):
+    net = Network()
+    a = net.add_host("A")
+    b = net.add_host("B")
+    net.connect(a, b, 1e9, 1e-6)
+    acks = []
+    net.host("A").register(0, 0, acks.append)
+    receiver = Receiver(
+        net.sim, b, 0, 0, net.reverse_path(net.paths("A", "B")[0]),
+        echo_mode=EchoMode.XMP, sack_enabled=sack,
+    )
+    return net, receiver, acks
+
+
+def reference_blocks(out_of_order):
+    """Independent (naive) computation of contiguous ranges."""
+    blocks = []
+    for seq in sorted(out_of_order):
+        if blocks and blocks[-1][1] == seq:
+            blocks[-1][1] = seq + 1
+        else:
+            blocks.append([seq, seq + 1])
+    return [tuple(block) for block in blocks]
+
+
+class TestSackBlockProperties:
+    @given(
+        received=st.sets(st.integers(1, 60), min_size=0, max_size=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_blocks_match_reference(self, received):
+        net, receiver, acks = make_receiver()
+        # Deliver segment 0 first so everything in `received` is buffered
+        # out of order (unless it extends 0 contiguously).
+        packet = Packet(DATA, 1500, 0, 0, seq=0)
+        packet.hop = 1
+        receiver.receive(packet)
+        for seq in sorted(received, key=lambda s: (s % 7, s)):  # jumbled
+            p = Packet(DATA, 1500, 0, 0, seq=seq)
+            p.hop = 1
+            receiver.receive(p)
+        blocks = receiver._sack_blocks()
+        expected = reference_blocks(receiver._out_of_order)
+        # The receiver reports the highest <=3 blocks, highest first.
+        assert list(blocks) == list(reversed(expected[-3:]))
+        # Blocks never include delivered data.
+        for start, end in blocks:
+            assert start >= receiver.rcv_nxt
+            assert end > start
+
+    @given(
+        order_seed=st.integers(0, 10_000),
+        n=st.integers(2, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_empty_once_stream_complete(self, order_seed, n):
+        net, receiver, acks = make_receiver()
+        order = list(range(n))
+        random.Random(order_seed).shuffle(order)
+        for seq in order:
+            p = Packet(DATA, 1500, 0, 0, seq=seq)
+            p.hop = 1
+            receiver.receive(p)
+        assert receiver._sack_blocks() == ()
+        assert receiver.rcv_nxt == n
+
+    def test_disabled_receiver_sends_no_blocks(self):
+        net, receiver, acks = make_receiver(sack=False)
+        for seq in (0, 5, 9):
+            p = Packet(DATA, 1500, 0, 0, seq=seq)
+            p.hop = 1
+            receiver.receive(p)
+        net.sim.run()
+        assert all(a.sack == () for a in acks)

@@ -1,0 +1,107 @@
+"""Tests for seeded random streams and the bounded Pareto sampler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import RandomStreams, pareto_bounded
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_are_deterministic_across_instances(self):
+        a = RandomStreams(7).stream("flows")
+        b = RandomStreams(7).stream("flows")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        xs = [streams.stream("a").random() for _ in range(5)]
+        ys = [streams.stream("b").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_different_seeds_differ(self):
+        xs = [RandomStreams(1).stream("a").random() for _ in range(5)]
+        ys = [RandomStreams(2).stream("a").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_spawn_derives_child_family(self):
+        parent = RandomStreams(3)
+        child1 = parent.spawn("rep1")
+        child2 = parent.spawn("rep2")
+        assert child1.seed != child2.seed
+        assert parent.spawn("rep1").seed == child1.seed
+
+
+class TestParetoBounded:
+    def test_respects_upper_bound(self):
+        streams = RandomStreams(0)
+        rng = streams.stream("sizes")
+        for _ in range(1000):
+            value = pareto_bounded(rng, 1.5, 192e6, 768e6)
+            assert value <= 768e6
+
+    def test_positive(self):
+        rng = RandomStreams(0).stream("sizes")
+        for _ in range(100):
+            assert pareto_bounded(rng, 1.5, 192e6, 768e6) > 0
+
+    def test_mean_in_plausible_range(self):
+        # Truncation pulls the sample mean below the nominal mean.
+        rng = RandomStreams(42).stream("sizes")
+        values = [pareto_bounded(rng, 1.5, 192e6, 768e6) for _ in range(20000)]
+        mean = sum(values) / len(values)
+        assert 0.4 * 192e6 < mean < 192e6
+
+    def test_rejects_shape_at_most_one(self):
+        rng = RandomStreams(0).stream("s")
+        with pytest.raises(ValueError):
+            pareto_bounded(rng, 1.0, 10, 100)
+
+    def test_rejects_nonpositive_mean(self):
+        rng = RandomStreams(0).stream("s")
+        with pytest.raises(ValueError):
+            pareto_bounded(rng, 1.5, 0, 100)
+
+    @given(
+        seed=st.integers(0, 2**20),
+        shape=st.floats(1.1, 5.0),
+        mean=st.floats(1.0, 1e9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sample_always_within_scale_and_bound(self, seed, shape, mean):
+        rng = RandomStreams(seed).stream("p")
+        upper = mean * 4
+        value = pareto_bounded(rng, shape, mean, upper)
+        scale = mean * (shape - 1.0) / shape
+        assert scale * 0.999 <= value <= upper
+
+    def test_distribution_matches_analytic_cdf(self):
+        """Kolmogorov-Smirnov against the truncated-Pareto CDF."""
+        scipy_stats = pytest.importorskip("scipy.stats")
+        shape, mean = 1.5, 192.0
+        upper = 768.0
+        scale = mean * (shape - 1.0) / shape
+        rng = RandomStreams(99).stream("ks")
+        samples = [
+            pareto_bounded(rng, shape, mean, upper) for _ in range(5000)
+        ]
+        # Interior samples (below the truncation atom) should follow the
+        # plain Pareto CDF conditioned on being below `upper`.
+        interior = [s for s in samples if s < upper * 0.999]
+        mass_below = 1.0 - (scale / upper) ** shape
+
+        def conditional_cdf(x):
+            import numpy as np
+
+            raw = 1.0 - (scale / np.maximum(x, scale)) ** shape
+            return raw / mass_below
+
+        statistic, pvalue = scipy_stats.kstest(interior, conditional_cdf)
+        assert pvalue > 0.01, (statistic, pvalue)
+        # The atom at the bound carries the remaining mass.
+        atom = 1.0 - len(interior) / len(samples)
+        assert atom == pytest.approx(1.0 - mass_below, abs=0.02)

@@ -1,0 +1,191 @@
+"""Tests for the topology builders."""
+
+import pytest
+
+from repro.net.queue import DropTailQueue, ThresholdECNQueue
+from repro.topology.bottleneck import build_single_bottleneck
+from repro.topology.fattree import build_fattree
+from repro.topology.testbed import build_shifting_testbed
+from repro.topology.torus import DEFAULT_CAPACITIES, build_torus
+
+
+class TestBottleneck:
+    def test_pair_paths_exist_and_cross_bottleneck(self):
+        net = build_single_bottleneck(num_pairs=3)
+        for i in range(3):
+            path = net.flow_path(i)
+            assert net.forward_bottleneck in path
+
+    def test_bottleneck_is_marking_queue(self):
+        net = build_single_bottleneck(marking_threshold=10)
+        assert isinstance(net.forward_bottleneck.queue, ThresholdECNQueue)
+        assert net.forward_bottleneck.queue.threshold == 10
+
+    def test_droptail_mode(self):
+        net = build_single_bottleneck(marking_threshold=None)
+        assert type(net.forward_bottleneck.queue) is DropTailQueue
+
+    def test_access_links_do_not_mark(self):
+        net = build_single_bottleneck()
+        for link in net.links_by_layer("access"):
+            assert type(link.queue) is DropTailQueue
+
+    def test_access_faster_than_bottleneck(self):
+        net = build_single_bottleneck(bottleneck_rate_bps=1e9)
+        for link in net.links_by_layer("access"):
+            assert link.rate_bps > 1e9
+
+    def test_propagation_rtt_matches_request(self):
+        rtt = 300e-6
+        net = build_single_bottleneck(rtt=rtt)
+        path = net.flow_path(0)
+        one_way = sum(link.delay for link in path)
+        back = sum(link.delay for link in net.reverse_path(path))
+        assert one_way + back == pytest.approx(rtt)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_single_bottleneck(num_pairs=0)
+        with pytest.raises(ValueError):
+            build_single_bottleneck(rtt=0)
+
+
+class TestShiftingTestbed:
+    def test_flow2_has_two_disjoint_paths(self):
+        net = build_shifting_testbed()
+        paths = net.paths_flow2()
+        assert len(paths) == 2
+        assert set(paths[0]).isdisjoint(set(paths[1]))
+
+    def test_flow2_paths_cross_different_bottlenecks(self):
+        net = build_shifting_testbed()
+        p1, p2 = net.paths_flow2()
+        names1 = {link.name for link in p1}
+        names2 = {link.name for link in p2}
+        assert "A1->B1" in names1
+        assert "A2->B2" in names2
+
+    def test_single_path_flows(self):
+        net = build_shifting_testbed()
+        assert len(net.paths("S1", "D1")) == 1
+        assert len(net.paths("S3", "D3")) == 1
+
+    def test_background_paths_use_their_bottleneck(self):
+        net = build_shifting_testbed()
+        assert any(l.name == "A1->B1" for l in net.path_background(1))
+        assert any(l.name == "A2->B2" for l in net.path_background(2))
+
+    def test_bottleneck_parameters(self):
+        net = build_shifting_testbed(bottleneck_rate_bps=300e6, marking_threshold=15)
+        bottlenecks = net.links_by_layer("bottleneck")
+        assert len(bottlenecks) == 4  # two pairs, both directions
+        for link in bottlenecks:
+            assert link.rate_bps == 300e6
+            assert link.queue.threshold == 15
+
+
+class TestTorus:
+    def test_default_capacities(self):
+        net = build_torus()
+        assert [l.rate_bps for l in net.bottlenecks] == list(DEFAULT_CAPACITIES)
+
+    def test_flow_paths_cross_adjacent_bottlenecks(self):
+        net = build_torus()
+        for i in range(1, 6):
+            first, second = net.flow_paths(i)
+            assert net.bottleneck(i) in first
+            wrap = i % 5 + 1
+            assert net.bottleneck(wrap) in second
+
+    def test_flow5_wraps_to_l1(self):
+        net = build_torus()
+        _, second = net.flow_paths(5)
+        assert net.bottleneck(1) in second
+
+    def test_background_flows_cross_l3(self):
+        net = build_torus(num_background=4)
+        for b in range(1, 5):
+            assert net.bottleneck(3) in net.background_path(b)
+
+    def test_rtt_of_each_path(self):
+        rtt = 350e-6
+        net = build_torus(rtt=rtt)
+        for i in range(1, 6):
+            for path in net.flow_paths(i):
+                total = sum(l.delay for l in path) + sum(
+                    l.delay for l in net.reverse_path(path)
+                )
+                assert total == pytest.approx(rtt)
+
+    def test_needs_two_bottlenecks(self):
+        with pytest.raises(ValueError):
+            build_torus(capacities=[1e9])
+
+
+class TestFatTree:
+    def test_k4_counts(self):
+        net = build_fattree(k=4)
+        assert len(net.hosts) == 16
+        assert len(net.switches) == 20  # 4 cores + 8 agg + 8 edge
+
+    def test_k8_counts(self):
+        net = build_fattree(k=8)
+        assert len(net.hosts) == 128
+        assert len(net.switches) == 80
+
+    def test_interpod_path_count_is_half_k_squared(self):
+        net = build_fattree(k=4)
+        paths = net.paths("h_0_0_0", "h_1_0_0")
+        assert len(paths) == 4  # (k/2)^2
+
+    def test_interrack_path_count(self):
+        net = build_fattree(k=4)
+        paths = net.paths("h_0_0_0", "h_0_1_0")
+        assert len(paths) == 2  # k/2 (one per aggregation switch)
+
+    def test_innerrack_single_path(self):
+        net = build_fattree(k=4)
+        assert len(net.paths("h_0_0_0", "h_0_0_1")) == 1
+
+    def test_categories(self):
+        net = build_fattree(k=4)
+        assert net.category("h_0_0_0", "h_1_0_0") == "inter-pod"
+        assert net.category("h_0_0_0", "h_0_1_0") == "inter-rack"
+        assert net.category("h_0_0_0", "h_0_0_1") == "inner-rack"
+
+    def test_layer_link_counts_k4(self):
+        net = build_fattree(k=4)
+        assert len(net.links_by_layer("core")) == 16 * 2
+        assert len(net.links_by_layer("aggregation")) == 16 * 2
+        assert len(net.links_by_layer("rack")) == 16 * 2
+
+    def test_interpod_rtt_within_paper_range(self):
+        # "RTT with no queuing delay is between 105 us and 435 us."
+        net = build_fattree(k=4)
+        path = net.paths("h_0_0_0", "h_1_0_0")[0]
+        rtt = sum(l.delay for l in path) + sum(
+            l.delay for l in net.reverse_path(path)
+        )
+        assert 300e-6 < rtt < 435e-6
+
+    def test_innerrack_rtt(self):
+        net = build_fattree(k=4)
+        path = net.paths("h_0_0_0", "h_0_0_1")[0]
+        rtt = sum(l.delay for l in path) + sum(
+            l.delay for l in net.reverse_path(path)
+        )
+        assert rtt == pytest.approx(80e-6)
+
+    def test_marking_threshold_everywhere(self):
+        net = build_fattree(k=4, marking_threshold=10)
+        for link in net.links:
+            assert link.queue.threshold == 10
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            build_fattree(k=3)
+
+    def test_host_name_parsing(self):
+        net = build_fattree(k=4)
+        assert net.parse_host("h_2_1_0") == (2, 1, 0)
+        assert "h_2_1_0" in net.host_names

@@ -1,0 +1,120 @@
+"""Integration tests of transport behaviours that need a real network:
+loss recovery under injected drops, ECN round trips, RTO chains, and the
+interaction of delayed ACKs with window growth."""
+
+import pytest
+
+from repro.mptcp.connection import MptcpConnection
+from repro.net.network import Network
+from repro.net.queue import DropTailQueue, ThresholdECNQueue
+from repro.topology.bottleneck import build_single_bottleneck
+
+
+def tiny_buffer_net(capacity):
+    """One pair over a 100 Mbps bottleneck with a tiny queue."""
+    net = build_single_bottleneck(
+        num_pairs=1, bottleneck_rate_bps=100e6, rtt=1e-3,
+        marking_threshold=None, queue_capacity=capacity,
+    )
+    return net
+
+
+class TestLossRecovery:
+    def test_tcp_completes_despite_heavy_drops(self):
+        net = tiny_buffer_net(capacity=5)
+        conn = MptcpConnection(net, "S0", "D0", [net.flow_path(0)],
+                               scheme="tcp", size_bytes=2_000_000)
+        conn.start()
+        net.sim.run(until=10.0)
+        assert conn.completed
+        assert net.total_dropped() > 0
+
+    def test_fast_retransmit_preferred_over_rto(self):
+        net = tiny_buffer_net(capacity=20)
+        conn = MptcpConnection(net, "S0", "D0", [net.flow_path(0)],
+                               scheme="tcp", size_bytes=2_000_000)
+        conn.start()
+        net.sim.run(until=10.0)
+        sender = conn.subflows[0].sender
+        assert conn.completed
+        # With a 20-packet buffer most losses are recoverable via dupacks.
+        assert sender.fast_retransmits >= sender.timeouts
+
+    def test_sack_reduces_recovery_time(self):
+        def completion_time(sack):
+            net = tiny_buffer_net(capacity=12)
+            conn = MptcpConnection(net, "S0", "D0", [net.flow_path(0)],
+                                   scheme="tcp", size_bytes=2_000_000,
+                                   sack=sack)
+            conn.start()
+            net.sim.run(until=20.0)
+            assert conn.completed
+            return conn.complete_time
+
+        # SACK should never be slower; usually faster on burst losses.
+        assert completion_time(True) <= completion_time(False) * 1.05
+
+    def test_every_scheme_survives_tiny_buffers(self):
+        for scheme, subflows in [("tcp", 1), ("dctcp", 1), ("xmp", 1),
+                                 ("lia", 1), ("olia", 1)]:
+            net = tiny_buffer_net(capacity=8)
+            conn = MptcpConnection(net, "S0", "D0",
+                                   [net.flow_path(0)] * subflows,
+                                   scheme=scheme, size_bytes=500_000)
+            conn.start()
+            net.sim.run(until=20.0)
+            assert conn.completed, scheme
+
+
+class TestEcnRoundTrip:
+    def test_marks_travel_end_to_end(self):
+        net = build_single_bottleneck(num_pairs=1, marking_threshold=5)
+        conn = MptcpConnection(net, "S0", "D0", [net.flow_path(0)],
+                               scheme="xmp", size_bytes=5_000_000)
+        conn.start()
+        net.sim.run(until=1.0)
+        assert conn.completed
+        # Marks were produced and consumed: reductions happened.
+        assert net.total_marked() > 0
+        assert conn.subflows[0].sender.cc.reductions > 0
+
+    def test_non_ect_flow_never_marked(self):
+        net = build_single_bottleneck(num_pairs=1, marking_threshold=0)
+        conn = MptcpConnection(net, "S0", "D0", [net.flow_path(0)],
+                               scheme="tcp", size_bytes=1_000_000)
+        conn.start()
+        net.sim.run(until=1.0)
+        assert net.total_marked() == 0
+
+    def test_receiver_echo_reaches_reductions_once_per_round(self):
+        net = build_single_bottleneck(num_pairs=1, marking_threshold=3)
+        conn = MptcpConnection(net, "S0", "D0", [net.flow_path(0)],
+                               scheme="xmp")
+        conn.start()
+        net.sim.run(until=0.2)
+        sender = conn.subflows[0].sender
+        # Reductions cannot exceed rounds (once-per-round invariant).
+        assert sender.cc.reductions <= sender.rounds
+
+
+class TestIsolation:
+    def test_two_connections_do_not_cross_deliver(self):
+        net = Network()
+        a = net.add_host("A")
+        b = net.add_host("B")
+        s = net.add_switch("S")
+        queue = lambda: ThresholdECNQueue(100, 10)
+        net.connect(a, s, 1e9, 1e-5, queue_factory=queue)
+        net.connect(s, b, 1e9, 1e-5, queue_factory=queue)
+        path = net.paths("A", "B")
+        c1 = MptcpConnection(net, "A", "B", path, scheme="xmp",
+                             size_bytes=500_000)
+        c2 = MptcpConnection(net, "A", "B", path, scheme="dctcp",
+                             size_bytes=500_000)
+        c1.start()
+        c2.start()
+        net.sim.run(until=1.0)
+        assert c1.completed and c2.completed
+        assert c1.delivered_bytes >= 500_000
+        assert c2.delivered_bytes >= 500_000
+        assert net.host("B").packets_unclaimed == 0
