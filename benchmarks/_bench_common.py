@@ -6,11 +6,16 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 import pathlib
 
 from repro.experiments.fattree_eval import FatTreeScenario
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker processes for grid benches (``REPRO_BENCH_JOBS=N``); results
+#: are bit-identical to serial, only wall-clock changes.
+BENCH_JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 #: The shared fat-tree evaluation grid (k=4; paper link parameters; scaled
 #: flow sizes; 0.5 s of simulated time per cell).

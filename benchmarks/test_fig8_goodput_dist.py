@@ -1,6 +1,6 @@
 """Bench: Fig. 8 — goodput CDFs and per-category percentile bars."""
 
-from _bench_common import BENCH_BASE, BENCH_INCAST, emit
+from _bench_common import BENCH_BASE, BENCH_INCAST, BENCH_JOBS, emit
 
 from repro.experiments.fig8_goodput_dist import run_fig8
 from repro.experiments.reporting import format_summary
@@ -29,7 +29,7 @@ def render(result) -> str:
 
 
 def test_fig8a_permutation_cdf(once):
-    result = once(run_fig8, "permutation", BENCH_BASE)
+    result = once(run_fig8, "permutation", BENCH_BASE, jobs=BENCH_JOBS)
     emit("fig8a_permutation", render(result))
     # Paper shape: the XMP-4 CDF sits right of DCTCP's (higher goodput).
     assert result.median("XMP-4") > result.median("DCTCP") * 0.95

@@ -1,6 +1,6 @@
 """Bench: Table 2 — XMP coexisting with LIA / TCP / DCTCP."""
 
-from _bench_common import BENCH_BASE, emit
+from _bench_common import BENCH_BASE, BENCH_JOBS, emit
 
 from repro.experiments.table2_coexistence import (
     PAPER_TABLE2,
@@ -9,7 +9,7 @@ from repro.experiments.table2_coexistence import (
 
 
 def test_table2_coexistence(once):
-    result = once(run_table2, BENCH_BASE)
+    result = once(run_table2, BENCH_BASE, jobs=BENCH_JOBS)
     lines = [result.format(), "", "Paper:"]
     for (scheme, queue), (xmp, other) in sorted(PAPER_TABLE2.items()):
         lines.append(f"  XMP : {scheme.upper():<5} q={queue:<4} {xmp} : {other}")

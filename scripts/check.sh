@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo check: lint (if ruff is installed) + the tier-1 test suite.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --lint   # lint only
+#   scripts/check.sh --tests  # tests only
+#
+# ruff is optional: the config lives in pyproject.toml, but the check
+# degrades to tests-only on machines without it rather than failing.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_lint=1
+run_tests=1
+case "${1:-}" in
+    --lint) run_tests=0 ;;
+    --tests) run_lint=0 ;;
+    "") ;;
+    *) echo "usage: scripts/check.sh [--lint|--tests]" >&2; exit 2 ;;
+esac
+
+if [ "$run_lint" = 1 ]; then
+    if command -v ruff > /dev/null 2>&1; then
+        echo "== ruff =="
+        ruff check src tests benchmarks
+    else
+        echo "== ruff not installed; skipping lint =="
+    fi
+fi
+
+if [ "$run_tests" = 1 ]; then
+    echo "== pytest (tier 1) =="
+    PYTHONPATH=src python -m pytest -x -q
+fi

@@ -14,6 +14,9 @@ Public API tour:
 * :mod:`repro.traffic` — the paper's Permutation / Random / Incast
   workloads; :mod:`repro.metrics` — goodput, RTT, utilization, JCT.
 * :mod:`repro.experiments` — a driver per paper figure/table.
+* :mod:`repro.runner` — the campaign layer all drivers run through:
+  :class:`~repro.runner.RunSpec` grids, process-parallel
+  :class:`~repro.runner.Campaign` execution, two-tier run caching.
 
 Quickstart::
 
@@ -35,7 +38,7 @@ from repro.mptcp import MptcpConnection
 from repro.core import BosCC, TraSh
 from repro.transport import DctcpCC, RenoCC, SinglePathFlow
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Simulator",

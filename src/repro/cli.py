@@ -15,30 +15,84 @@ Examples::
 Every subcommand prints the same rows/series its benchmark counterpart
 asserts on; the CLI exists so a single experiment can be explored (and
 its knobs swept) without the pytest machinery.
+
+Every experiment runs through :mod:`repro.runner`: ``--jobs N`` fans the
+grid's cells over N worker processes (deterministic — same output as
+``--jobs 1``), results are cached on disk under ``--cache-dir`` (default
+``~/.cache/repro``) so repeated invocations skip simulation, and
+``--no-cache`` forces recomputation.  A ``[runner]`` summary line after
+each result reports per-invocation cost; ``--cells`` adds a per-cell
+timing table.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.fattree_eval import FatTreeScenario
-from repro.experiments.fig1_convergence import Fig1Config, run_fig1
-from repro.experiments.fig4_traffic_shifting import Fig4Config, run_fig4
-from repro.experiments.fig6_fairness import Fig6Config, run_fig6
-from repro.experiments.fig7_rate_compensation import Fig7Config, run_fig7
+from repro.experiments.fattree_eval import PATTERNS, FatTreeScenario
+from repro.experiments.fig1_convergence import Fig1Config
+from repro.experiments.fig4_traffic_shifting import Fig4Config
+from repro.experiments.fig6_fairness import Fig6Config
+from repro.experiments.fig7_rate_compensation import Fig7Config
 from repro.experiments.fig9_jct_cdf import run_jct
-from repro.experiments.fig10_rtt import run_fig10
+from repro.experiments.fig10_rtt import FIG10_SCHEMES, run_fig10
 from repro.experiments.fig11_utilization import run_fig11
 from repro.experiments.reporting import format_cdf, format_table
-from repro.experiments.table1_goodput import run_table1
-from repro.experiments.table2_coexistence import run_table2
-
-EXPERIMENTS = (
-    "fig1", "fig4", "fig6", "fig7",
-    "table1", "table2", "jct", "rtt", "utilization", "export",
+from repro.experiments.table1_goodput import TABLE1_SCHEMES, run_table1
+from repro.experiments.table2_coexistence import (
+    COEXIST_SCHEMES,
+    QUEUE_SIZES,
+    run_table2,
 )
+from repro.runner import (
+    Campaign,
+    CampaignResult,
+    DiskCache,
+    RunCache,
+    RunSpec,
+    default_cache,
+)
+
+#: name -> (cell count at defaults, help text).  The cell count is the
+#: number of independent simulations, i.e. the useful upper bound for
+#: ``--jobs``.
+EXPERIMENT_INFO: Dict[str, Tuple[int, str]] = {
+    "fig1": (1, "Fig. 1: convergence on one bottleneck"),
+    "fig4": (1, "Fig. 4: traffic shifting testbed"),
+    "fig6": (1, "Fig. 6: fairness vs subflow count"),
+    "fig7": (1, "Fig. 7: torus rate compensation"),
+    "table1": (
+        len(TABLE1_SCHEMES) * len(PATTERNS),
+        "Table 1: goodput per scheme per pattern",
+    ),
+    "table2": (
+        len(COEXIST_SCHEMES) * len(QUEUE_SIZES),
+        "Table 2: XMP coexistence",
+    ),
+    "jct": (len(TABLE1_SCHEMES), "Fig. 9 / Table 3: incast job completion times"),
+    "rtt": (len(FIG10_SCHEMES), "Fig. 10: RTT by category"),
+    "utilization": (len(FIG10_SCHEMES), "Fig. 11: utilization by layer"),
+    "export": (1, "run one fat-tree scenario and dump JSON/CSV artifacts"),
+}
+
+EXPERIMENTS = tuple(EXPERIMENT_INFO)
+
+
+def _add_runner_options(p: argparse.ArgumentParser) -> None:
+    """The campaign-runner knobs shared by every experiment subcommand."""
+    group = p.add_argument_group("runner")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for independent cells "
+                            "(deterministic: output equals --jobs 1)")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="on-disk run cache location "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="ignore cached runs and recompute everything")
+    group.add_argument("--cells", action="store_true",
+                       help="print the per-cell timing table")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,36 +102,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list available experiments and cell counts")
 
-    p = sub.add_parser("fig1", help="Fig. 1: convergence on one bottleneck")
+    p = sub.add_parser("fig1", help=EXPERIMENT_INFO["fig1"][1])
     p.add_argument("--scheme", choices=("dctcp", "bos"), default="dctcp")
     p.add_argument("--threshold", type=int, default=10, help="marking K")
     p.add_argument("--beta", type=float, default=2.0)
     p.add_argument("--interval", type=float, default=1.0,
                    help="seconds between joins/leaves (paper: 5)")
+    _add_runner_options(p)
 
-    p = sub.add_parser("fig4", help="Fig. 4: traffic shifting testbed")
+    p = sub.add_parser("fig4", help=EXPERIMENT_INFO["fig4"][1])
     p.add_argument("--beta", type=float, default=4.0)
     p.add_argument("--time-scale", type=float, default=0.2)
+    _add_runner_options(p)
 
-    p = sub.add_parser("fig6", help="Fig. 6: fairness vs subflow count")
+    p = sub.add_parser("fig6", help=EXPERIMENT_INFO["fig6"][1])
     p.add_argument("--beta", type=float, default=4.0)
     p.add_argument("--time-scale", type=float, default=0.2)
+    _add_runner_options(p)
 
-    p = sub.add_parser("fig7", help="Fig. 7: torus rate compensation")
+    p = sub.add_parser("fig7", help=EXPERIMENT_INFO["fig7"][1])
     p.add_argument("--beta", type=float, default=4.0)
     p.add_argument("--threshold", type=int, default=20, help="marking K")
     p.add_argument("--time-scale", type=float, default=0.05)
+    _add_runner_options(p)
 
-    for name, help_text in (
-        ("table1", "Table 1: goodput per scheme per pattern"),
-        ("table2", "Table 2: XMP coexistence"),
-        ("jct", "Fig. 9 / Table 3: incast job completion times"),
-        ("rtt", "Fig. 10: RTT by category"),
-        ("utilization", "Fig. 11: utilization by layer"),
-    ):
-        p = sub.add_parser(name, help=help_text)
+    for name in ("table1", "table2", "jct", "rtt", "utilization"):
+        p = sub.add_parser(name, help=EXPERIMENT_INFO[name][1])
         p.add_argument("--duration", type=float, default=0.4)
         p.add_argument("--k", type=int, default=4, help="fat-tree arity")
         p.add_argument("--seed", type=int, default=1)
@@ -86,11 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
                            default=["permutation", "random", "incast"])
         if name in ("rtt", "utilization"):
             p.add_argument("--pattern", default="permutation")
+        _add_runner_options(p)
 
-    p = sub.add_parser(
-        "export",
-        help="run one fat-tree scenario and dump JSON/CSV artifacts",
-    )
+    p = sub.add_parser("export", help=EXPERIMENT_INFO["export"][1])
     p.add_argument("directory", help="output directory")
     p.add_argument("--scheme", default="xmp")
     p.add_argument("--subflows", type=int, default=2)
@@ -99,7 +149,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=0.4)
     p.add_argument("--k", type=int, default=4)
     p.add_argument("--seed", type=int, default=1)
+    _add_runner_options(p)
     return parser
+
+
+def _campaign_kwargs(args: argparse.Namespace) -> dict:
+    """Translate runner flags into the drivers' campaign kwargs.
+
+    The CLI attaches a disk tier (unlike library defaults, which stay
+    memory-only unless ``$REPRO_CACHE_DIR`` is set): a repeated
+    invocation with a warm cache skips simulation entirely.
+    """
+    if args.no_cache:
+        return {"jobs": args.jobs, "cache": None, "use_cache": False}
+    disk = DiskCache(args.cache_dir) if args.cache_dir else DiskCache()
+    cache = RunCache(memory=default_cache().memory, disk=disk)
+    return {"jobs": args.jobs, "cache": cache, "use_cache": True}
+
+
+def _epilogue(args: argparse.Namespace, campaign: Optional[CampaignResult]) -> str:
+    """The ``[runner]`` summary (and optional per-cell table) for a run."""
+    if campaign is None:
+        return ""
+    lines = [f"[runner] {campaign.summary()}"]
+    if args.cells:
+        lines.append(campaign.format_cells())
+    return "\n" + "\n".join(lines)
+
+
+def _run_single(kind: str, config, args: argparse.Namespace):
+    """Run a one-cell experiment through the runner; returns its result
+    value and the one-cell campaign for the epilogue."""
+    kwargs = _campaign_kwargs(args)
+    campaign = Campaign(
+        jobs=1, cache=kwargs["cache"], use_cache=kwargs["use_cache"]
+    ).run([RunSpec(kind, config)])
+    return campaign.results[0].value, campaign
 
 
 def _scenario(args: argparse.Namespace) -> FatTreeScenario:
@@ -107,21 +192,24 @@ def _scenario(args: argparse.Namespace) -> FatTreeScenario:
 
 
 def _run_fig1(args) -> str:
-    result = run_fig1(Fig1Config(
+    result, campaign = _run_single("fig1", Fig1Config(
         scheme=args.scheme, beta=args.beta,
         marking_threshold=args.threshold, interval=args.interval,
-    ))
+    ), args)
     rows = [
         (f"{start:.1f}-{end:.1f}s", active, f"{jain:.4f}")
         for start, end, active, jain in result.segments
     ]
     table = format_table(["segment", "active flows", "Jain"], rows,
                          title=f"Fig. 1 ({args.scheme}, K={args.threshold})")
-    return f"{table}\nworst multi-flow Jain: {result.worst_jain():.4f}"
+    return (f"{table}\nworst multi-flow Jain: {result.worst_jain():.4f}"
+            + _epilogue(args, campaign))
 
 
 def _run_fig4(args) -> str:
-    result = run_fig4(Fig4Config(beta=args.beta, time_scale=args.time_scale))
+    result, campaign = _run_single(
+        "fig4", Fig4Config(beta=args.beta, time_scale=args.time_scale), args
+    )
     rows = []
     for phase, (start, end) in result.phases().items():
         rows.append(
@@ -134,11 +222,13 @@ def _run_fig4(args) -> str:
     return format_table(
         ["phase", "subflow 1", "subflow 2"], rows,
         title=f"Fig. 4 (beta={args.beta}): Flow 2 normalized rates",
-    )
+    ) + _epilogue(args, campaign)
 
 
 def _run_fig6(args) -> str:
-    result = run_fig6(Fig6Config(beta=args.beta, time_scale=args.time_scale))
+    result, campaign = _run_single(
+        "fig6", Fig6Config(beta=args.beta, time_scale=args.time_scale), args
+    )
     s = args.time_scale
     rows = [
         (f"flow {flow}",
@@ -147,14 +237,15 @@ def _run_fig6(args) -> str:
     ]
     table = format_table(["flow", "rate (20-25s window)"], rows,
                          title=f"Fig. 6 (beta={args.beta})")
-    return f"{table}\nJain index: {result.fairness_all_flows():.4f}"
+    return (f"{table}\nJain index: {result.fairness_all_flows():.4f}"
+            + _epilogue(args, campaign))
 
 
 def _run_fig7(args) -> str:
-    result = run_fig7(Fig7Config(
+    result, campaign = _run_single("fig7", Fig7Config(
         beta=args.beta, marking_threshold=args.threshold,
         time_scale=args.time_scale,
-    ))
+    ), args)
     s = args.time_scale
     rows = []
     for i in range(1, 6):
@@ -172,37 +263,44 @@ def _run_fig7(args) -> str:
         ["subflow", "pre (20-25s)", "congested (40-45s)", "L3 closed (65-70s)"],
         rows,
         title=f"Fig. 7 (beta={args.beta}, K={args.threshold})",
-    )
+    ) + _epilogue(args, campaign)
 
 
 def _run_table1(args) -> str:
-    result = run_table1(_scenario(args), patterns=tuple(args.patterns))
-    return result.format()
+    result = run_table1(
+        _scenario(args), patterns=tuple(args.patterns), **_campaign_kwargs(args)
+    )
+    return result.format() + _epilogue(args, result.campaign)
 
 
 def _run_table2(args) -> str:
-    return run_table2(_scenario(args)).format()
+    result = run_table2(_scenario(args), **_campaign_kwargs(args))
+    return result.format() + _epilogue(args, result.campaign)
 
 
 def _run_jct(args) -> str:
-    result = run_jct(_scenario(args))
+    result = run_jct(_scenario(args), **_campaign_kwargs(args))
     lines = [result.format_table3(), "", "CDFs:"]
     for label, jcts in result.jcts.items():
         lines.append(f"  {label:<7} {format_cdf(jcts, scale=1e3, unit='ms')}")
-    return "\n".join(lines)
+    return "\n".join(lines) + _epilogue(args, result.campaign)
 
 
 def _run_rtt(args) -> str:
-    return run_fig10(args.pattern, _scenario(args)).format()
+    result = run_fig10(args.pattern, _scenario(args), **_campaign_kwargs(args))
+    return result.format() + _epilogue(args, result.campaign)
 
 
 def _run_utilization(args) -> str:
-    return run_fig11(args.pattern, _scenario(args)).format()
+    result = run_fig11(args.pattern, _scenario(args), **_campaign_kwargs(args))
+    return result.format() + _epilogue(args, result.campaign)
 
 
 def _run_export(args) -> str:
-    from repro.experiments.export import export_fattree_result
-    from repro.experiments.fattree_eval import run_fattree
+    from repro.experiments.export import (
+        export_campaign_metrics,
+        export_fattree_result,
+    )
 
     scenario = FatTreeScenario(
         scheme=args.scheme,
@@ -212,12 +310,14 @@ def _run_export(args) -> str:
         k=args.k,
         seed=args.seed,
     )
-    result = run_fattree(scenario)
+    result, campaign = _run_single("fattree", scenario, args)
     out = export_fattree_result(result, args.directory)
+    export_campaign_metrics(campaign, args.directory)
     return (
         f"wrote {out}/summary.json, flows.csv, jct.csv, rtt_samples.csv, "
-        f"links.csv  (mean goodput "
+        f"links.csv, cells.csv  (mean goodput "
         f"{result.mean_goodput_bps() / 1e6:.1f} Mbps)"
+        + _epilogue(args, campaign)
     )
 
 
@@ -235,12 +335,24 @@ _RUNNERS = {
 }
 
 
+def _list_text() -> str:
+    lines = [
+        "available experiments (cells = independent simulations; size --jobs accordingly):"
+    ]
+    for name, (cells, help_text) in EXPERIMENT_INFO.items():
+        cell_word = "cell " if cells == 1 else "cells"
+        lines.append(f"  {name:<12} {cells:>2} {cell_word}  {help_text}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv[:1] == ["--list"]:
+        print(_list_text())
+        return 0
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        print("available experiments:")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
+        print(_list_text())
         return 0
     print(_RUNNERS[args.command](args))
     return 0

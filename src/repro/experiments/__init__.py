@@ -14,9 +14,13 @@ Fat-tree evaluation (one shared driver, cached per scenario):
   :mod:`...table2_coexistence`, :mod:`...fig9_jct_cdf`,
   :mod:`...table3_jct`, :mod:`...fig10_rtt`, :mod:`...fig11_utilization`
 
-Every driver accepts a ``time_scale`` or duration knob so tests can run
-seconds-long versions while benches run the paper-scaled ones; see
-DESIGN.md §4 for the scaling rules.
+Every driver routes its simulations through :mod:`repro.runner` — one
+:class:`~repro.runner.RunSpec` per cell, executed by a
+:class:`~repro.runner.Campaign` with two-tier caching and optional
+process parallelism (grid drivers take ``jobs=N``).  Every driver also
+accepts a ``time_scale`` or duration knob so tests can run seconds-long
+versions while benches run the paper-scaled ones; see DESIGN.md §4 for
+the scaling rules and §7 for the runner contract.
 """
 
 from repro.experiments import reporting

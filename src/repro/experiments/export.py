@@ -8,6 +8,8 @@ plotted or diffed outside the repo:
   JCTs, RTT samples and per-link utilization as CSV plus a summary JSON.
 * :func:`export_rate_result` — any rate-versus-time experiment result
   (Figs. 1/4/6/7) as a CSV of its series plus a JSON of its config.
+* :func:`export_campaign_metrics` — a campaign's per-cell runner metrics
+  (wall-clock, events, events/sec, cache provenance) as ``cells.csv``.
 """
 
 from __future__ import annotations
@@ -110,4 +112,28 @@ def export_rate_result(result, directory: PathLike, name: str = "rates") -> path
     return out
 
 
-__all__ = ["export_fattree_result", "export_rate_result"]
+def export_campaign_metrics(campaign, directory: PathLike) -> pathlib.Path:
+    """Write a campaign's per-cell metrics as ``<directory>/cells.csv``.
+
+    ``campaign`` is a :class:`repro.runner.CampaignResult` (or anything
+    iterable over :class:`repro.runner.RunResult`).
+    """
+    out = _ensure_dir(directory)
+    with open(out / "cells.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["cell", "source", "wall_seconds", "events", "events_per_sec"])
+        for result in campaign:
+            metrics = result.metrics
+            writer.writerow(
+                [
+                    result.spec.label(),
+                    metrics.source,
+                    metrics.wall_time_s,
+                    metrics.events,
+                    metrics.events_per_sec,
+                ]
+            )
+    return out
+
+
+__all__ = ["export_fattree_result", "export_rate_result", "export_campaign_metrics"]

@@ -7,9 +7,11 @@ pattern, runs it for ``duration`` simulated seconds and returns a
 extract: per-flow records, JCTs, RTT samples per category, and per-link
 byte counters.
 
-Results are memoized per scenario within the process so the seven
+Runs are cached through :mod:`repro.runner`'s two-tier cache (bounded
+in-process LRU plus optional content-addressed disk tier), so the seven
 benchmark modules that share runs (Table 1 and Figs. 8/10/11 use the same
-simulations) only pay for each simulation once.
+simulations) only pay for each simulation once — and a warm disk cache
+survives across processes.
 
 Scaling note (DESIGN.md §4): defaults are k=4 and MB-scale flow sizes;
 links, delays, K, β, queue sizes, small-flow sizes and RTOmin are the
@@ -107,25 +109,29 @@ class FatTreeResult:
         return [u for _, l, u in self.link_utilization if l == layer]
 
 
-_CACHE: Dict[FatTreeScenario, FatTreeResult] = {}
-
-
 def clear_cache() -> None:
-    """Drop memoized runs (tests use this to force fresh simulations)."""
-    _CACHE.clear()
+    """Drop memoized runs (tests use this to force fresh simulations).
+
+    Delegates to the runner cache's in-process tier; an attached disk
+    tier is deliberately left alone (it is content-addressed and safe).
+    """
+    from repro.runner.cache import default_cache
+
+    default_cache().clear_memory()
 
 
-def run_fattree(scenario: FatTreeScenario, use_cache: bool = True) -> FatTreeResult:
-    """Run (or fetch from cache) one fat-tree scenario."""
-    if use_cache and scenario in _CACHE:
-        return _CACHE[scenario]
-    result = _run(scenario)
-    if use_cache:
-        _CACHE[scenario] = result
-    return result
+def run_fattree(
+    scenario: FatTreeScenario, use_cache: bool = True, cache=None
+) -> FatTreeResult:
+    """Run (or fetch from the runner cache) one fat-tree scenario."""
+    from repro.runner import RunSpec, run_spec
+
+    return run_spec(
+        RunSpec("fattree", scenario), cache=cache, use_cache=use_cache
+    ).value
 
 
-def _run(scenario: FatTreeScenario) -> FatTreeResult:
+def _simulate(scenario: FatTreeScenario) -> FatTreeResult:
     if scenario.pattern not in PATTERNS:
         raise ValueError(f"unknown pattern {scenario.pattern!r}")
     streams = RandomStreams(scenario.seed)

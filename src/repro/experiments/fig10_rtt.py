@@ -12,11 +12,12 @@ delay predominates RTT in DCNs".  The shapes to hold, per pattern:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.fattree_eval import FatTreeScenario
 from repro.experiments.reporting import format_table
 from repro.metrics.stats import summarize
+from repro.runner import Campaign, CampaignResult, RunSpec
 
 #: Schemes Fig. 10 plots.
 FIG10_SCHEMES: Tuple[Tuple[str, int], ...] = (
@@ -35,6 +36,8 @@ class Fig10Result:
 
     pattern: str
     rtt: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    #: Per-cell runner observability (wall/events/cache provenance).
+    campaign: Optional[CampaignResult] = None
 
     def mean_rtt(self, label: str, category: str) -> float:
         summary = self.rtt.get(label, {}).get(category)
@@ -58,12 +61,19 @@ def run_fig10(
     pattern: str,
     base: FatTreeScenario = FatTreeScenario(),
     schemes: Sequence[Tuple[str, int]] = FIG10_SCHEMES,
+    jobs: int = 1,
+    cache=None,
+    use_cache: bool = True,
 ) -> Fig10Result:
     """Collect per-category RTT distributions for one pattern."""
-    result = Fig10Result(pattern=pattern)
-    for scheme, subflows in schemes:
-        scenario = replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
-        run = run_fattree(scenario)
+    grid = [
+        replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
+        for scheme, subflows in schemes
+    ]
+    campaign = Campaign(jobs=jobs, cache=cache, use_cache=use_cache)
+    outcome = campaign.run(RunSpec("fattree", scenario) for scenario in grid)
+    result = Fig10Result(pattern=pattern, campaign=outcome)
+    for scenario, run in zip(grid, outcome.values):
         label = scenario.label()
         result.rtt[label] = {
             category: summarize(samples)

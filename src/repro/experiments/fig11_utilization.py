@@ -13,12 +13,13 @@ layer (core / aggregation / rack).  Shapes to hold, per pattern:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.fattree_eval import FatTreeScenario
 from repro.experiments.fig10_rtt import FIG10_SCHEMES
 from repro.experiments.reporting import format_table
 from repro.metrics.stats import mean, summarize
+from repro.runner import Campaign, CampaignResult, RunSpec
 
 LAYERS = ("core", "aggregation", "rack")
 
@@ -29,6 +30,8 @@ class Fig11Result:
 
     pattern: str
     utilization: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    #: Per-cell runner observability (wall/events/cache provenance).
+    campaign: Optional[CampaignResult] = None
 
     def spread(self, label: str, layer: str) -> float:
         """max - min utilization: the paper's 'length of the vertical line'."""
@@ -62,12 +65,19 @@ def run_fig11(
     pattern: str,
     base: FatTreeScenario = FatTreeScenario(),
     schemes: Sequence[Tuple[str, int]] = FIG10_SCHEMES,
+    jobs: int = 1,
+    cache=None,
+    use_cache: bool = True,
 ) -> Fig11Result:
     """Collect per-layer utilization distributions for one pattern."""
-    result = Fig11Result(pattern=pattern)
-    for scheme, subflows in schemes:
-        scenario = replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
-        run = run_fattree(scenario)
+    grid = [
+        replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
+        for scheme, subflows in schemes
+    ]
+    campaign = Campaign(jobs=jobs, cache=cache, use_cache=use_cache)
+    outcome = campaign.run(RunSpec("fattree", scenario) for scenario in grid)
+    result = Fig11Result(pattern=pattern, campaign=outcome)
+    for scenario, run in zip(grid, outcome.values):
         label = scenario.label()
         result.utilization[label] = {
             layer: summarize(run.utilization_values(layer)) for layer in LAYERS

@@ -55,6 +55,8 @@ class Fig1Result:
     segments: List[Tuple[float, float, int, float]] = field(default_factory=list)
     #: Active flow indices per segment (parallel to ``segments``).
     segment_flows: List[List[int]] = field(default_factory=list)
+    #: Simulator events processed (runner observability).
+    events: int = 0
 
     def normalized_rates(self, name: str) -> List[float]:
         cap = self.config.bottleneck_rate_bps
@@ -106,8 +108,17 @@ class Fig1Result:
         return sum(times) / len(times) if times else 0.0
 
 
-def run_fig1(config: Fig1Config) -> Fig1Result:
-    """Run one panel of Fig. 1 and return its series and fairness."""
+def run_fig1(
+    config: Fig1Config, use_cache: bool = False, cache=None
+) -> Fig1Result:
+    """Run one panel of Fig. 1 (through the campaign runner)."""
+    from repro.runner import RunSpec, run_spec
+
+    return run_spec(RunSpec("fig1", config), cache=cache, use_cache=use_cache).value
+
+
+def _simulate(config: Fig1Config) -> Fig1Result:
+    """Simulate one panel of Fig. 1 and return its series and fairness."""
     scheme = {"dctcp": "dctcp", "bos": "bos-uncoupled"}[config.scheme]
     net = build_single_bottleneck(
         num_pairs=config.num_flows,
@@ -162,6 +173,7 @@ def run_fig1(config: Fig1Config) -> Fig1Result:
             (seg_start, seg_end, len(active), jain_index(means))
         )
         result.segment_flows.append(active)
+    result.events = net.sim.events_processed
     return result
 
 

@@ -40,6 +40,8 @@ class Fig4Result:
     config: Fig4Config
     times: List[float] = field(default_factory=list)
     rates: Dict[str, List[float]] = field(default_factory=dict)
+    #: Simulator events processed (runner observability).
+    events: int = 0
 
     def normalized(self, name: str) -> List[float]:
         cap = self.config.bottleneck_rate_bps
@@ -65,8 +67,17 @@ class Fig4Result:
         }
 
 
-def run_fig4(config: Fig4Config) -> Fig4Result:
-    """Run the Fig. 4 experiment and return Flow 2's subflow rate series."""
+def run_fig4(
+    config: Fig4Config, use_cache: bool = False, cache=None
+) -> Fig4Result:
+    """Run the Fig. 4 experiment (through the campaign runner)."""
+    from repro.runner import RunSpec, run_spec
+
+    return run_spec(RunSpec("fig4", config), cache=cache, use_cache=use_cache).value
+
+
+def _simulate(config: Fig4Config) -> Fig4Result:
+    """Simulate Fig. 4 and return Flow 2's subflow rate series."""
     s = config.time_scale
     net = build_shifting_testbed(
         bottleneck_rate_bps=config.bottleneck_rate_bps,
@@ -106,7 +117,12 @@ def run_fig4(config: Fig4Config) -> Fig4Result:
     )
     sampler.start(config.sample_interval * s)
     net.sim.run(until=total)
-    return Fig4Result(config=config, times=sampler.times, rates=sampler.rates)
+    return Fig4Result(
+        config=config,
+        times=sampler.times,
+        rates=sampler.rates,
+        events=net.sim.events_processed,
+    )
 
 
 __all__ = ["Fig4Config", "Fig4Result", "run_fig4"]

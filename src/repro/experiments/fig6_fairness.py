@@ -40,6 +40,8 @@ class Fig6Result:
     times: List[float] = field(default_factory=list)
     #: Keyed "flow{i}-{j}" per subflow, e.g. "flow1-2".
     rates: Dict[str, List[float]] = field(default_factory=dict)
+    #: Simulator events processed (runner observability).
+    events: int = 0
 
     def flow_rate_between(self, flow: int, start: float, end: float) -> float:
         """Mean total rate of one flow (all its subflows) over a window."""
@@ -64,8 +66,17 @@ class Fig6Result:
         return jain_index(rates)
 
 
-def run_fig6(config: Fig6Config) -> Fig6Result:
-    """Run the Fig. 6 experiment; returns per-subflow rate series."""
+def run_fig6(
+    config: Fig6Config, use_cache: bool = False, cache=None
+) -> Fig6Result:
+    """Run the Fig. 6 experiment (through the campaign runner)."""
+    from repro.runner import RunSpec, run_spec
+
+    return run_spec(RunSpec("fig6", config), cache=cache, use_cache=use_cache).value
+
+
+def _simulate(config: Fig6Config) -> Fig6Result:
+    """Simulate Fig. 6; returns per-subflow rate series."""
     s = config.time_scale
     net = build_single_bottleneck(
         num_pairs=4,
@@ -109,7 +120,12 @@ def run_fig6(config: Fig6Config) -> Fig6Result:
 
     sampler.start(config.sample_interval * s)
     net.sim.run(until=30.0 * s)
-    return Fig6Result(config=config, times=sampler.times, rates=sampler.rates)
+    return Fig6Result(
+        config=config,
+        times=sampler.times,
+        rates=sampler.rates,
+        events=net.sim.events_processed,
+    )
 
 
 __all__ = ["Fig6Config", "Fig6Result", "run_fig6"]

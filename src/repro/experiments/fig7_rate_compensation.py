@@ -45,6 +45,8 @@ class Fig7Result:
     #: "flow{i}-{j}" for the five main flows, "bg{b}" for background.
     rates: Dict[str, List[float]] = field(default_factory=dict)
     capacities: List[float] = field(default_factory=list)
+    #: Simulator events processed (runner observability).
+    events: int = 0
 
     def mean_rate(self, name: str, start: float, end: float) -> float:
         values = [
@@ -58,8 +60,17 @@ class Fig7Result:
         return self.mean_rate(name, start, end) / 1e9
 
 
-def run_fig7(config: Fig7Config) -> Fig7Result:
-    """Run the Fig. 7 experiment; returns 5 s-averaged subflow rates."""
+def run_fig7(
+    config: Fig7Config, use_cache: bool = False, cache=None
+) -> Fig7Result:
+    """Run the Fig. 7 experiment (through the campaign runner)."""
+    from repro.runner import RunSpec, run_spec
+
+    return run_spec(RunSpec("fig7", config), cache=cache, use_cache=use_cache).value
+
+
+def _simulate(config: Fig7Config) -> Fig7Result:
+    """Simulate Fig. 7; returns 5 s-averaged subflow rates."""
     s = config.time_scale
     net = build_torus(
         capacities=DEFAULT_CAPACITIES,
@@ -100,6 +111,7 @@ def run_fig7(config: Fig7Config) -> Fig7Result:
         times=sampler.times,
         rates=sampler.rates,
         capacities=list(DEFAULT_CAPACITIES),
+        events=net.sim.events_processed,
     )
 
 

@@ -13,11 +13,12 @@ XMP's multipath compensates; LIA's inner-rack goodput is ruined by the
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.fattree_eval import FatTreeScenario
 from repro.experiments.table1_goodput import TABLE1_SCHEMES
 from repro.metrics.stats import cdf_points, summarize
+from repro.runner import Campaign, CampaignResult, RunSpec
 
 #: Schemes shown in the per-category panels (c)/(d).
 CATEGORY_SCHEMES: Tuple[Tuple[str, int], ...] = (
@@ -39,6 +40,8 @@ class Fig8Result:
     cdfs: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     #: label -> category -> five-number summary of normalized goodput
     by_category: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    #: Per-cell runner observability (wall/events/cache provenance).
+    campaign: Optional[CampaignResult] = None
 
     def median(self, label: str) -> float:
         points = self.cdfs[label]
@@ -53,12 +56,19 @@ def run_fig8(
     pattern: str,
     base: FatTreeScenario = FatTreeScenario(),
     schemes: Sequence[Tuple[str, int]] = TABLE1_SCHEMES,
+    jobs: int = 1,
+    cache=None,
+    use_cache: bool = True,
 ) -> Fig8Result:
     """Compute Fig. 8's distributions for one traffic pattern."""
-    result = Fig8Result(pattern=pattern)
-    for scheme, subflows in schemes:
-        scenario = replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
-        run = run_fattree(scenario)
+    grid = [
+        replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
+        for scheme, subflows in schemes
+    ]
+    campaign = Campaign(jobs=jobs, cache=cache, use_cache=use_cache)
+    outcome = campaign.run(RunSpec("fattree", scenario) for scenario in grid)
+    result = Fig8Result(pattern=pattern, campaign=outcome)
+    for (scheme, subflows), scenario, run in zip(schemes, grid, outcome.values):
         label = scenario.label()
         records = run.all_records(label)
         normalized = [

@@ -16,12 +16,13 @@ Paper's Table 3::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.fattree_eval import FatTreeScenario
 from repro.experiments.reporting import format_table
 from repro.experiments.table1_goodput import TABLE1_SCHEMES
 from repro.metrics.stats import cdf_points, mean
+from repro.runner import Campaign, CampaignResult, RunSpec
 
 PAPER_TABLE3 = {
     "DCTCP": (0.052, 0.001),
@@ -42,6 +43,8 @@ class JctResult:
     jobs_started: Dict[str, int] = field(default_factory=dict)
     #: Ages of jobs still running when the simulation ended, per scheme.
     unfinished_ages: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per-cell runner observability (wall/events/cache provenance).
+    campaign: Optional[CampaignResult] = None
 
     def cdf(self, label: str):
         return cdf_points(self.jcts[label])
@@ -84,12 +87,19 @@ class JctResult:
 def run_jct(
     base: FatTreeScenario = FatTreeScenario(),
     schemes: Sequence[Tuple[str, int]] = TABLE1_SCHEMES,
+    jobs: int = 1,
+    cache=None,
+    use_cache: bool = True,
 ) -> JctResult:
     """Run the Incast pattern for every scheme and collect JCTs."""
-    result = JctResult()
-    for scheme, subflows in schemes:
-        scenario = replace(base, scheme=scheme, subflows=subflows, pattern="incast")
-        run = run_fattree(scenario)
+    grid = [
+        replace(base, scheme=scheme, subflows=subflows, pattern="incast")
+        for scheme, subflows in schemes
+    ]
+    campaign = Campaign(jobs=jobs, cache=cache, use_cache=use_cache)
+    outcome = campaign.run(RunSpec("fattree", scenario) for scenario in grid)
+    result = JctResult(campaign=outcome)
+    for scenario, run in zip(grid, outcome.values):
         label = scenario.label()
         result.jcts[label] = list(run.jcts)
         result.jobs_started[label] = run.jobs_started

@@ -53,6 +53,32 @@ def format_summary(summary: Dict[str, float], scale: float = 1.0, unit: str = ""
     return "  ".join(f"{key}={summary[key] * scale:.3g}{unit}" for key in keys)
 
 
+def format_cell_metrics(results: Iterable) -> str:
+    """Render per-cell runner metrics (:class:`repro.runner.RunResult`).
+
+    One row per campaign cell: label, cache provenance, wall-clock,
+    events processed and events/sec — the observability surface the CLI
+    prints under each experiment's table.
+    """
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        rows.append(
+            (
+                result.spec.label(),
+                metrics.source,
+                f"{metrics.wall_time_s:.3f}",
+                f"{metrics.events:,}",
+                f"{metrics.events_per_sec:,.0f}",
+            )
+        )
+    return format_table(
+        ["cell", "source", "wall (s)", "events", "events/s"],
+        rows,
+        title="Campaign cells",
+    )
+
+
 def format_series(
     series: Sequence[Tuple[float, float]], scale: float = 1.0, width: int = 50
 ) -> str:
@@ -67,4 +93,10 @@ def format_series(
     return "\n".join(lines)
 
 
-__all__ = ["format_table", "format_cdf", "format_summary", "format_series"]
+__all__ = [
+    "format_table",
+    "format_cdf",
+    "format_summary",
+    "format_cell_metrics",
+    "format_series",
+]

@@ -17,14 +17,11 @@ paper) while LIA-4 gains a lot over LIA-2 (>40%).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.fattree_eval import (
-    PATTERNS,
-    FatTreeScenario,
-    run_fattree,
-)
+from repro.experiments.fattree_eval import PATTERNS, FatTreeScenario
 from repro.experiments.reporting import format_table
+from repro.runner import Campaign, CampaignResult, RunSpec
 
 #: The paper's Table 1 scheme column, as (scheme, subflow count).
 TABLE1_SCHEMES: Tuple[Tuple[str, int], ...] = (
@@ -51,6 +48,8 @@ class Table1Result:
 
     goodput_mbps: Dict[str, Dict[str, float]] = field(default_factory=dict)
     patterns: Sequence[str] = PATTERNS
+    #: Per-cell runner observability (wall/events/cache provenance).
+    campaign: Optional[CampaignResult] = None
 
     def row(self, label: str) -> List[float]:
         return [self.goodput_mbps[label][p] for p in self.patterns]
@@ -81,21 +80,24 @@ def run_table1(
     base: FatTreeScenario = FatTreeScenario(),
     schemes: Sequence[Tuple[str, int]] = TABLE1_SCHEMES,
     patterns: Sequence[str] = PATTERNS,
+    jobs: int = 1,
+    cache=None,
+    use_cache: bool = True,
 ) -> Table1Result:
     """Run every (scheme, pattern) cell and aggregate mean goodput."""
-    result = Table1Result(patterns=list(patterns))
-    for scheme, subflows in schemes:
-        label = None
-        per_pattern: Dict[str, float] = {}
-        for pattern in patterns:
-            scenario = replace(
-                base, scheme=scheme, subflows=subflows, pattern=pattern
-            )
-            run = run_fattree(scenario)
-            label = scenario.label()
-            per_pattern[pattern] = run.mean_goodput_bps(label) / 1e6
-        assert label is not None
-        result.goodput_mbps[label] = per_pattern
+    grid = [
+        replace(base, scheme=scheme, subflows=subflows, pattern=pattern)
+        for scheme, subflows in schemes
+        for pattern in patterns
+    ]
+    campaign = Campaign(jobs=jobs, cache=cache, use_cache=use_cache)
+    outcome = campaign.run(RunSpec("fattree", scenario) for scenario in grid)
+    result = Table1Result(patterns=list(patterns), campaign=outcome)
+    for scenario, run in zip(grid, outcome.values):
+        label = scenario.label()
+        result.goodput_mbps.setdefault(label, {})[scenario.pattern] = (
+            run.mean_goodput_bps(label) / 1e6
+        )
     return result
 
 

@@ -16,10 +16,11 @@ schemes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.fattree_eval import FatTreeScenario, run_fattree
+from repro.experiments.fattree_eval import FatTreeScenario
 from repro.experiments.reporting import format_table
+from repro.runner import Campaign, CampaignResult, RunSpec
 
 #: (coexisting scheme, its subflow count) — the paper's three rows.
 COEXIST_SCHEMES: Tuple[Tuple[str, int], ...] = (
@@ -45,6 +46,8 @@ class Table2Result:
     """(other scheme, queue size) -> (XMP Mbps, other Mbps)."""
 
     cells: Dict[Tuple[str, int], Tuple[float, float]] = field(default_factory=dict)
+    #: Per-cell runner observability (wall/events/cache provenance).
+    campaign: Optional[CampaignResult] = None
 
     def format(self) -> str:
         schemes = []
@@ -72,29 +75,36 @@ def run_table2(
     base: FatTreeScenario = FatTreeScenario(),
     schemes: Sequence[Tuple[str, int]] = COEXIST_SCHEMES,
     queue_sizes: Sequence[int] = QUEUE_SIZES,
+    jobs: int = 1,
+    cache=None,
+    use_cache: bool = True,
 ) -> Table2Result:
     """Run every coexistence cell and collect both sides' mean goodput."""
-    result = Table2Result()
-    for other_scheme, other_subflows in schemes:
-        for queue in queue_sizes:
-            scenario = replace(
-                base,
-                scheme="xmp",
-                subflows=2,
-                pattern="random",
-                queue_capacity=queue,
-                coexist_scheme=other_scheme,
-                coexist_subflows=other_subflows,
-            )
-            run = run_fattree(scenario)
-            xmp_label = scenario.label()
-            other_label = other_scheme.upper()
-            if other_subflows > 1:
-                other_label = f"{other_label}-{other_subflows}"
-            result.cells[(other_scheme, queue)] = (
-                run.mean_goodput_bps(xmp_label) / 1e6,
-                run.mean_goodput_bps(other_label) / 1e6,
-            )
+    grid = [
+        replace(
+            base,
+            scheme="xmp",
+            subflows=2,
+            pattern="random",
+            queue_capacity=queue,
+            coexist_scheme=other_scheme,
+            coexist_subflows=other_subflows,
+        )
+        for other_scheme, other_subflows in schemes
+        for queue in queue_sizes
+    ]
+    campaign = Campaign(jobs=jobs, cache=cache, use_cache=use_cache)
+    outcome = campaign.run(RunSpec("fattree", scenario) for scenario in grid)
+    result = Table2Result(campaign=outcome)
+    for scenario, run in zip(grid, outcome.values):
+        other_scheme = scenario.coexist_scheme
+        other_label = other_scheme.upper()
+        if scenario.coexist_subflows > 1:
+            other_label = f"{other_label}-{scenario.coexist_subflows}"
+        result.cells[(other_scheme, scenario.queue_capacity)] = (
+            run.mean_goodput_bps(scenario.label()) / 1e6,
+            run.mean_goodput_bps(other_label) / 1e6,
+        )
     return result
 
 

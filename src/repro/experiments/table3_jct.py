@@ -2,8 +2,9 @@
 
 Thin view over :mod:`repro.experiments.fig9_jct_cdf`: the same Incast
 simulations produce both the Fig. 9 CDF and this table, so the module
-simply re-exports the runner under the table's name (and the shared
-result cache makes the second consumer free).
+simply re-exports the driver under the table's name (and the shared
+:mod:`repro.runner` cache makes the second consumer free; ``jobs``,
+``cache`` and ``use_cache`` kwargs pass straight through).
 """
 
 from __future__ import annotations

@@ -50,6 +50,25 @@ class FlowRecord:
         self.complete_time = complete_time
         self.delivered_bytes = delivered_bytes
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowRecord):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    # Value equality (a record pickled through the run cache must compare
+    # equal to the original) but identity hashing, as before.
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowRecord(flow_id={self.flow_id}, scheme={self.scheme!r}, "
+            f"{self.src}->{self.dst}, {self.category}, "
+            f"size={self.size_bytes}, delivered={self.delivered_bytes}, "
+            f"t=[{self.start_time}, {self.complete_time}])"
+        )
+
     @property
     def finished(self) -> bool:
         return self.complete_time is not None

@@ -1,0 +1,103 @@
+"""Experiment-kind registry: the dispatch table behind :class:`RunSpec`.
+
+Kinds are registered *lazily* as ``(module, function)`` name pairs rather
+than callables, for two reasons:
+
+* the experiment modules import :mod:`repro.runner` to route their public
+  ``run_*`` entry points through it, so the registry must not import them
+  back at module-import time (cycle); and
+* worker processes receive only the pickled :class:`RunSpec` and resolve
+  the run function themselves, so nothing un-picklable crosses the
+  process boundary.
+
+``execute`` is the single choke point every simulation goes through: it
+resolves the kind, times the run, extracts the events-processed counter,
+and wraps everything in a :class:`~repro.runner.spec.RunResult`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.runner.spec import SOURCE_RUN, CellMetrics, RunResult, RunSpec
+
+
+@dataclass(frozen=True)
+class KindEntry:
+    """One registered experiment kind."""
+
+    name: str
+    module: str
+    function: str
+    #: Attribute of the result object carrying the simulator's
+    #: events-processed counter (0 if the result does not expose one).
+    events_attr: str = "events"
+
+    def resolve(self) -> Callable[[Any], Any]:
+        return getattr(importlib.import_module(self.module), self.function)
+
+
+_KINDS: Dict[str, KindEntry] = {}
+
+
+def register_kind(
+    name: str, module: str, function: str, events_attr: str = "events"
+) -> None:
+    """Register (or re-register) an experiment kind."""
+    _KINDS[name] = KindEntry(name, module, function, events_attr)
+
+
+def kind_entry(name: str) -> KindEntry:
+    try:
+        return _KINDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_KINDS))
+        raise KeyError(f"unknown run kind {name!r} (registered: {known})") from None
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_KINDS))
+
+
+def events_of(spec: RunSpec, value: Any) -> int:
+    """The events-processed count a result carries (0 when untracked)."""
+    attr = kind_entry(spec.kind).events_attr
+    return int(getattr(value, attr, 0) or 0)
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Run one spec from scratch, timed. Used inline and by pool workers."""
+    run = kind_entry(spec.kind).resolve()
+    started = time.perf_counter()
+    value = run(spec.config)
+    wall = time.perf_counter() - started
+    metrics = CellMetrics(
+        wall_time_s=wall, events=events_of(spec, value), source=SOURCE_RUN
+    )
+    return RunResult(spec=spec, value=value, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# Built-in kinds: one per single-simulation driver.  The fat-tree kind
+# backs every Table 1-3 / Fig. 8-11 view; the testbed/torus/bottleneck
+# kinds back Figs. 1/4/6/7.
+# ----------------------------------------------------------------------
+
+register_kind("fattree", "repro.experiments.fattree_eval", "_simulate")
+register_kind("fig1", "repro.experiments.fig1_convergence", "_simulate")
+register_kind("fig4", "repro.experiments.fig4_traffic_shifting", "_simulate")
+register_kind("fig6", "repro.experiments.fig6_fairness", "_simulate")
+register_kind("fig7", "repro.experiments.fig7_rate_compensation", "_simulate")
+
+
+__all__ = [
+    "KindEntry",
+    "register_kind",
+    "kind_entry",
+    "registered_kinds",
+    "events_of",
+    "execute",
+]

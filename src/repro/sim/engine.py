@@ -37,6 +37,11 @@ class Simulator:
     when :meth:`stop` is called from inside a callback.
     """
 
+    #: Compaction fires only past this many pending cancellations …
+    COMPACT_MIN_CANCELLED = 1024
+    #: … and only when cancelled events exceed this fraction of the heap.
+    COMPACT_FRACTION = 0.5
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[tuple] = []
@@ -44,6 +49,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -63,6 +69,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still on the heap, including cancelled ones."""
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of cancelled events still occupying heap slots."""
+        return self._cancelled_pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -88,10 +99,38 @@ class Simulator:
         time = self._now + delay
         self._seq += 1
         event = Event(time, priority, self._seq, callback, args)
+        event.sim = self
         # The heap stores plain tuples so ordering comparisons stay in C;
         # the Event rides along for lazy cancellation.
         heapq.heappush(self._heap, (time, priority, self._seq, event))
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is heap-resident.
+
+        Lazy deletion leaves cancelled events on the heap until their
+        scheduled time; when they dominate (long runs cancel an RTO timer
+        per ACK burst), every ``heappush`` pays ``log`` of a mostly-dead
+        heap.  Rebuilding once the dead fraction passes
+        ``COMPACT_FRACTION`` keeps the amortized cost constant.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place because :meth:`run` holds a local alias of the heap list;
+        safe mid-run because the loop re-reads ``heap[0]`` every iteration.
+        """
+        live = [entry for entry in self._heap if not entry[3].cancelled]
+        self._heap[:] = live
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     def schedule_at(
         self,
@@ -135,11 +174,14 @@ class Simulator:
                 time, _priority, _seq, event = heap[0]
                 if event.cancelled:
                     heappop(heap)
+                    event.sim = None
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and time > until:
                     self._now = until
                     break
                 heappop(heap)
+                event.sim = None
                 self._now = time
                 event.callback(*event.args)
                 self._events_processed += 1
@@ -167,10 +209,13 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("cannot reset a running simulator")
+        for entry in self._heap:
+            entry[3].sim = None
         self._heap.clear()
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
+        self._cancelled_pending = 0
         self._stopped = False
 
 

@@ -8,7 +8,10 @@ bit-for-bit for a given seed.
 Cancellation uses lazy deletion: :meth:`Event.cancel` flips a flag and the
 scheduler skips cancelled events when it pops them.  This is much cheaper
 than re-heapifying and is the standard approach for timer-heavy network
-simulations (every TCP segment arms or re-arms an RTO timer).
+simulations (every TCP segment arms or re-arms an RTO timer).  The
+scheduler counts pending cancellations and compacts its heap when they
+dominate (see :meth:`repro.sim.engine.Simulator._compact`), so long runs
+with many cancelled retransmit timers don't degrade ``heappush`` cost.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ class Event:
     user code normally only keeps a reference in order to :meth:`cancel`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(
         self,
@@ -42,13 +45,22 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Back-reference set by the scheduler while the event is on its
+        #: heap, so cancellation can be counted for heap compaction; the
+        #: scheduler clears it when the event is popped.
+        self.sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it.
 
         Cancelling an already-cancelled or already-fired event is a no-op.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (

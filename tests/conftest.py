@@ -2,11 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.net.network import Network
 from repro.net.queue import ThresholdECNQueue
 from repro.sim.engine import Simulator
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_run_cache(tmp_path_factory):
+    """Point the runner's disk cache at a per-session temp directory.
+
+    CLI invocations under test attach a disk tier by default; without
+    this, the suite would write into (and worse, *read* stale results
+    from) the user's ~/.cache/repro.
+    """
+    from repro.runner.cache import reset_default_cache
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("run-cache"))
+    reset_default_cache()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    reset_default_cache()
 
 
 @pytest.fixture

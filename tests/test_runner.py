@@ -1,0 +1,178 @@
+"""Tests for the campaign runner: spec contract, caching tiers, parallel
+determinism, and the registry.
+
+The determinism test is the load-bearing one: ``Campaign(jobs=4)`` must
+produce results *equal* to ``jobs=1`` for the same grid — the merge is in
+input order and every run function is pure, so parallelism may only
+change wall-clock, never output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.experiments.fattree_eval import FatTreeScenario
+from repro.runner import (
+    Campaign,
+    DiskCache,
+    MemoryCache,
+    RunCache,
+    RunSpec,
+    kind_entry,
+    registered_kinds,
+    run_spec,
+    spec_fingerprint,
+)
+from repro.runner.spec import SOURCE_DISK, SOURCE_MEMORY, SOURCE_RUN
+
+#: Small enough that a four-cell grid simulates in a few seconds.
+TINY = FatTreeScenario(
+    duration=0.03,
+    perm_size_min=50_000,
+    perm_size_max=150_000,
+    random_mean=100_000,
+    random_max=300_000,
+    seed=7,
+)
+
+
+def tiny_grid():
+    """A small fat-tree grid: two schemes x two patterns."""
+    return [
+        RunSpec("fattree", dataclasses.replace(TINY, scheme=scheme,
+                                               subflows=subflows,
+                                               pattern=pattern))
+        for scheme, subflows in (("dctcp", 1), ("xmp", 2))
+        for pattern in ("permutation", "random")
+    ]
+
+
+class TestParallelDeterminism:
+    def test_jobs4_equals_jobs1(self):
+        specs = tiny_grid()
+        serial = Campaign(jobs=1, use_cache=False).run(specs)
+        fanned = Campaign(jobs=4, use_cache=False).run(specs)
+        assert len(serial) == len(fanned) == len(specs)
+        for one, four in zip(serial.results, fanned.results):
+            assert one.spec == four.spec
+            # FatTreeResult is a plain dataclass: == compares every flow
+            # record, RTT sample and utilization reading.
+            assert one.value == four.value
+            assert one.metrics.events == four.metrics.events
+            assert one.metrics.source == SOURCE_RUN
+
+
+class TestCache:
+    def spec(self):
+        return RunSpec("fattree", TINY)
+
+    def test_round_trip_through_disk(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        first = run_spec(self.spec(), cache=RunCache(disk=disk))
+        assert first.metrics.source == SOURCE_RUN
+        # A fresh memory tier over the same directory: served from disk,
+        # equal value (a new unpickled object, not the same one).
+        reloaded = run_spec(self.spec(), cache=RunCache(disk=disk))
+        assert reloaded.metrics.source == SOURCE_DISK
+        assert reloaded.metrics.cached
+        assert reloaded.value == first.value
+        assert reloaded.value is not first.value
+
+    def test_memory_tier_preserves_identity(self):
+        cache = RunCache()
+        first = run_spec(self.spec(), cache=cache)
+        again = run_spec(self.spec(), cache=cache)
+        assert again.metrics.source == SOURCE_MEMORY
+        assert again.value is first.value
+
+    def test_corrupted_file_recomputed(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        first = run_spec(self.spec(), cache=RunCache(disk=disk))
+        path = disk.path_for(spec_fingerprint(self.spec()))
+        assert path.exists()
+        path.write_bytes(b"not a pickle")
+        rerun = run_spec(self.spec(), cache=RunCache(disk=disk))
+        assert rerun.metrics.source == SOURCE_RUN
+        assert rerun.value == first.value
+        # The rewrite healed the entry.
+        with open(path, "rb") as handle:
+            assert pickle.load(handle) == first.value
+
+    def test_truncated_file_recomputed(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        run_spec(self.spec(), cache=RunCache(disk=disk))
+        path = disk.path_for(spec_fingerprint(self.spec()))
+        path.write_bytes(path.read_bytes()[:10])
+        rerun = run_spec(self.spec(), cache=RunCache(disk=disk))
+        assert rerun.metrics.source == SOURCE_RUN
+
+    def test_no_cache_bypasses_everything(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        cache = RunCache(disk=disk)
+        run_spec(self.spec(), cache=cache)
+        forced = run_spec(self.spec(), cache=cache, use_cache=False)
+        assert forced.metrics.source == SOURCE_RUN
+        assert not forced.metrics.cached
+
+    def test_unwritable_directory_is_nonfatal(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the cache dir should be")
+        result = run_spec(self.spec(), cache=RunCache(disk=DiskCache(blocked)))
+        assert result.metrics.source == SOURCE_RUN
+
+    def test_memory_cache_is_bounded(self):
+        cache = MemoryCache(max_entries=3)
+        specs = [RunSpec("fattree", dataclasses.replace(TINY, seed=i))
+                 for i in range(5)]
+        for i, spec in enumerate(specs):
+            cache.put(spec, i)
+        assert len(cache) == 3
+        assert cache.get(specs[0]) is None
+        assert cache.get(specs[4]) == 4
+
+    def test_fingerprint_is_content_addressed(self):
+        same = spec_fingerprint(RunSpec("fattree", TINY))
+        assert spec_fingerprint(RunSpec("fattree", dataclasses.replace(TINY))) == same
+        assert spec_fingerprint(
+            RunSpec("fattree", dataclasses.replace(TINY, seed=8))
+        ) != same
+        assert spec_fingerprint(RunSpec("fig1", TINY)) != same
+
+
+class TestCampaignResult:
+    def test_summary_and_cells(self):
+        cache = RunCache()
+        specs = [RunSpec("fattree", TINY)]
+        cold = Campaign(cache=cache).run(specs)
+        assert cold.cached_count == 0
+        assert cold.total_events > 0
+        assert "1 simulated" in cold.summary()
+        warm = Campaign(cache=cache).run(specs)
+        assert warm.cached_count == 1
+        assert "all served from cache" in warm.summary()
+        table = warm.format_cells()
+        assert "memory" in table
+        assert "fattree" in table
+
+    def test_value_for(self):
+        spec = RunSpec("fattree", TINY)
+        outcome = Campaign(cache=RunCache()).run([spec])
+        assert outcome.value_for(spec) is outcome.values[0]
+        with pytest.raises(KeyError):
+            outcome.value_for(RunSpec("fattree", dataclasses.replace(TINY, seed=9)))
+
+
+class TestRegistry:
+    def test_all_drivers_registered(self):
+        assert {"fattree", "fig1", "fig4", "fig6", "fig7"} <= set(registered_kinds())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="fattree"):
+            kind_entry("nonsense")
+
+    def test_entries_resolve(self):
+        for name in registered_kinds():
+            assert callable(kind_entry(name).resolve())

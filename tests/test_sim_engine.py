@@ -197,3 +197,52 @@ class TestReset:
         sim.reset()
         sim.run()
         assert fired == []
+
+
+class TestHeapCompaction:
+    def test_compaction_bounds_dead_fraction(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5000)]
+        for event in events[:4000]:
+            event.cancel()
+        # Compaction triggered mid-cancellation: live events all survive,
+        # and the dead tail left after the last rebuild stays bounded by
+        # the trigger thresholds.
+        assert sim.pending_events < 5000
+        assert sim.pending_events >= 1000
+        live = sum(1 for entry in sim._heap if not entry[3].cancelled)
+        assert live == 1000
+        assert sim.cancelled_pending == sim.pending_events - live
+
+    def test_below_threshold_no_compaction(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for event in events:
+            event.cancel()
+        # 100 < COMPACT_MIN_CANCELLED: lazy deletion only.
+        assert sim.pending_events == 100
+        assert sim.cancelled_pending == 100
+
+    def test_compaction_preserves_firing_order(self, sim):
+        fired = []
+        keep = []
+        cancel = []
+        for i in range(4000):
+            delay = float(i + 1)
+            if i % 4 == 0:
+                keep.append((delay, sim.schedule(delay, fired.append, delay)))
+            else:
+                cancel.append(sim.schedule(delay, fired.append, -delay))
+        for event in cancel:
+            event.cancel()
+        sim.run()
+        assert fired == [delay for delay, _ in keep]
+
+    def test_cancel_after_compaction_still_safe(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(3000)]
+        for event in events[:2500]:
+            event.cancel()
+        # Cancel events already dropped from the heap by a compaction:
+        # their sim backref is gone, so this must be a quiet no-op.
+        for event in events[:2500]:
+            event.cancel()
+        sim.run()
+        assert sim.events_processed == 500
