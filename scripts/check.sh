@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Repo check: lint (if ruff is installed) + the tier-1 test suite.
+# Repo check: lint (if ruff is installed) + the tier-1 test suite,
+# which includes the runtime-invariant / golden-trace tests (-m invariants
+# selects just those).
 #
-#   scripts/check.sh          # everything
-#   scripts/check.sh --lint   # lint only
-#   scripts/check.sh --tests  # tests only
+#   scripts/check.sh               # everything
+#   scripts/check.sh --lint        # lint only
+#   scripts/check.sh --tests       # tests only
+#   scripts/check.sh --invariants  # invariant + golden-trace suite only
 #
 # ruff is optional: the config lives in pyproject.toml, but the check
 # degrades to tests-only on machines without it rather than failing.
@@ -11,13 +14,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Prepend src without clobbering a caller-provided PYTHONPATH.
+REPRO_PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
 run_lint=1
 run_tests=1
+run_invariants_only=0
 case "${1:-}" in
     --lint) run_tests=0 ;;
     --tests) run_lint=0 ;;
+    --invariants) run_lint=0; run_invariants_only=1 ;;
     "") ;;
-    *) echo "usage: scripts/check.sh [--lint|--tests]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--lint|--tests|--invariants]" >&2; exit 2 ;;
 esac
 
 if [ "$run_lint" = 1 ]; then
@@ -29,7 +37,10 @@ if [ "$run_lint" = 1 ]; then
     fi
 fi
 
-if [ "$run_tests" = 1 ]; then
-    echo "== pytest (tier 1) =="
-    PYTHONPATH=src python -m pytest -x -q
+if [ "$run_invariants_only" = 1 ]; then
+    echo "== pytest (invariants + golden traces) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m pytest -x -q -m invariants
+elif [ "$run_tests" = 1 ]; then
+    echo "== pytest (tier 1, includes invariant suite) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m pytest -x -q
 fi

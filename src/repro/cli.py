@@ -11,6 +11,9 @@ Examples::
     python -m repro jct --duration 1.0
     python -m repro rtt --pattern random
     python -m repro utilization --pattern permutation
+    python -m repro validate
+    python -m repro validate --bless
+    python -m repro table1 --duration 0.02 --validate
 
 Every subcommand prints the same rows/series its benchmark counterpart
 asserts on; the CLI exists so a single experiment can be explored (and
@@ -23,6 +26,11 @@ grid's cells over N worker processes (deterministic — same output as
 ``--no-cache`` forces recomputation.  A ``[runner]`` summary line after
 each result reports per-invocation cost; ``--cells`` adds a per-cell
 timing table.
+
+``--validate`` runs every cell under the runtime invariant checker
+(:mod:`repro.validate`; implies ``--no-cache``), and the ``validate``
+subcommand diffs the golden-trace scenarios against their checked-in
+digests (``--bless`` regenerates them) — see VALIDATION.md.
 """
 
 from __future__ import annotations
@@ -75,6 +83,11 @@ EXPERIMENT_INFO: Dict[str, Tuple[int, str]] = {
     "rtt": (len(FIG10_SCHEMES), "Fig. 10: RTT by category"),
     "utilization": (len(FIG10_SCHEMES), "Fig. 11: utilization by layer"),
     "export": (1, "run one fat-tree scenario and dump JSON/CSV artifacts"),
+    "validate": (
+        4,
+        "run the golden-trace scenarios under the invariant checker "
+        "(--bless regenerates goldens)",
+    ),
 }
 
 EXPERIMENTS = tuple(EXPERIMENT_INFO)
@@ -93,6 +106,10 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
                        help="ignore cached runs and recompute everything")
     group.add_argument("--cells", action="store_true",
                        help="print the per-cell timing table")
+    group.add_argument("--validate", action="store_true",
+                       help="run every cell under the runtime invariant "
+                            "checker (implies --no-cache; fails on any "
+                            "violation)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--pattern", default="permutation")
         _add_runner_options(p)
 
+    p = sub.add_parser("validate", help=EXPERIMENT_INFO["validate"][1])
+    p.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                   help="scenario names (default: all; see "
+                        "repro.validate.scenarios)")
+    p.add_argument("--bless", action="store_true",
+                   help="regenerate the checked-in golden digests from "
+                        "this run instead of diffing against them")
+
     p = sub.add_parser("export", help=EXPERIMENT_INFO["export"][1])
     p.add_argument("directory", help="output directory")
     p.add_argument("--scheme", default="xmp")
@@ -159,7 +184,16 @@ def _campaign_kwargs(args: argparse.Namespace) -> dict:
     The CLI attaches a disk tier (unlike library defaults, which stay
     memory-only unless ``$REPRO_CACHE_DIR`` is set): a repeated
     invocation with a warm cache skips simulation entirely.
+
+    ``--validate`` forces recomputation (cached results were produced by
+    *unvalidated* runs, so replaying them would check nothing) and sets
+    ``$REPRO_VALIDATE`` so worker processes validate too.
     """
+    if getattr(args, "validate", False):
+        import os
+
+        os.environ["REPRO_VALIDATE"] = "1"
+        return {"jobs": args.jobs, "cache": None, "use_cache": False}
     if args.no_cache:
         return {"jobs": args.jobs, "cache": None, "use_cache": False}
     disk = DiskCache(args.cache_dir) if args.cache_dir else DiskCache()
@@ -172,6 +206,12 @@ def _epilogue(args: argparse.Namespace, campaign: Optional[CampaignResult]) -> s
     if campaign is None:
         return ""
     lines = [f"[runner] {campaign.summary()}"]
+    if getattr(args, "validate", False):
+        checks = sum(r.metrics.invariant_checks for r in campaign.results)
+        lines.append(
+            f"[validate] {len(campaign.results)} cells passed "
+            f"({checks} invariant checks)"
+        )
     if args.cells:
         lines.append(campaign.format_cells())
     return "\n" + "\n".join(lines)
@@ -321,6 +361,18 @@ def _run_export(args) -> str:
     )
 
 
+def _run_validate(args) -> str:
+    from repro.validate.scenarios import run_golden_suite
+
+    report, ok = run_golden_suite(
+        names=args.scenarios or None, bless=args.bless
+    )
+    if not ok:
+        # Print the report on the way out; main() turns this into exit 1.
+        raise SystemExit(report + "\nvalidate: FAILED")
+    return report + ("\nvalidate: blessed" if args.bless else "\nvalidate: OK")
+
+
 _RUNNERS = {
     "fig1": _run_fig1,
     "fig4": _run_fig4,
@@ -332,6 +384,7 @@ _RUNNERS = {
     "rtt": _run_rtt,
     "utilization": _run_utilization,
     "export": _run_export,
+    "validate": _run_validate,
 }
 
 

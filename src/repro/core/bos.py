@@ -81,12 +81,16 @@ class BosCC(CongestionControl):
         if round_ended:
             if self.delta_provider is not None:
                 self.delta = self.delta_provider(self, now)
+            grown = 0
             if self.state == NORMAL and sender.cwnd > sender.ssthresh:
                 self.adder += self.delta
                 whole = math.floor(self.adder)
                 if whole > 0:
                     sender.cwnd += whole
                     self.adder -= whole
+                    grown = whole
+            if self.observer is not None:
+                self.observer.on_round(self, self.delta, grown)
 
         # Per-ACK operations: slow start.
         if (
@@ -104,12 +108,15 @@ class BosCC(CongestionControl):
         if not self.enter_reduced():
             return
         self.reductions += 1
+        cwnd_before = sender.cwnd
         if sender.cwnd > sender.ssthresh:
             decrement = max(sender.cwnd / self.beta, 1.0)
             sender.cwnd = max(sender.cwnd - decrement, MIN_CWND)
         # "Avoid re-entering slow start" — also how slow start *ends* on the
         # very first echo (cwnd <= ssthresh skips the cut but lands here).
         sender.ssthresh = sender.cwnd - 1.0
+        if self.observer is not None:
+            self.observer.on_reduce(self, cwnd_before, sender.cwnd)
 
     def on_timeout(self, now: float) -> None:
         super().on_timeout(now)

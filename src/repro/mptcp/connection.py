@@ -18,6 +18,7 @@ from repro.transport.receiver import DEFAULT_DELACK_TIMEOUT, Receiver
 from repro.transport.tcp import InfiniteSource, TcpSender, segments_for_bytes
 from repro.mptcp.coupling import create_coupling
 from repro.mptcp.scheduler import SharedSegmentPool
+from repro.validate.hooks import active_validator
 
 
 class Subflow:
@@ -96,6 +97,9 @@ class MptcpConnection:
         self.subflows: List[Subflow] = []
         for path in paths:
             self.add_subflow(path)
+        validator = active_validator()
+        if validator is not None:
+            validator.watch_connection(self)
 
     def add_subflow(self, path: Path, start: bool = False) -> Subflow:
         """Attach one more subflow over ``path``.

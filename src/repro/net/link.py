@@ -39,6 +39,7 @@ class Link:
         "packets_transmitted",
         "bytes_offered",
         "layer",
+        "observer",
     )
 
     def __init__(
@@ -69,6 +70,10 @@ class Link:
         self.packets_transmitted = 0
         self.bytes_offered = 0
         self.layer = layer
+        #: Validation observer storage (see :mod:`repro.validate`): the
+        #: slot lives here so a watched link's generated subclass shares
+        #: this layout; the transmit path never consults it.
+        self.observer = None
 
     # ------------------------------------------------------------------
 

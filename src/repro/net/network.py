@@ -15,6 +15,7 @@ from repro.net.node import Host, Node, Switch
 from repro.net.queue import DropTailQueue
 from repro.net.routing import Path, enumerate_paths
 from repro.sim.engine import Simulator
+from repro.validate.hooks import active_validator
 
 QueueFactory = Callable[[], DropTailQueue]
 
@@ -31,6 +32,9 @@ class Network:
         self._path_cache: Dict[Tuple[str, str], List[Path]] = {}
         self._reverse: Dict[Link, Link] = {}
         self._next_flow_id = 0
+        validator = active_validator()
+        if validator is not None:
+            validator.watch_sim(self.sim)
 
     # ------------------------------------------------------------------
     # Construction
@@ -89,6 +93,9 @@ class Network:
         self.links.append(link)
         self.adjacency.setdefault(src, []).append(link)
         self._path_cache.clear()
+        validator = active_validator()
+        if validator is not None:
+            validator.watch_link(link)
         return link
 
     def _check_name(self, name: str) -> None:

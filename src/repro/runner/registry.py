@@ -69,13 +69,41 @@ def events_of(spec: RunSpec, value: Any) -> int:
 
 
 def execute(spec: RunSpec) -> RunResult:
-    """Run one spec from scratch, timed. Used inline and by pool workers."""
+    """Run one spec from scratch, timed. Used inline and by pool workers.
+
+    When validation is requested (a validator is active in-process, or
+    ``$REPRO_VALIDATE`` is set — the CLI's ``--validate`` flag, which
+    worker processes inherit through the environment), the run executes
+    under a fresh :class:`~repro.validate.invariants.Validator` and
+    raises :class:`~repro.validate.invariants.InvariantError` on any
+    violation, naming the cell.
+    """
+    from repro.validate.hooks import validation_requested
+
     run = kind_entry(spec.kind).resolve()
+    checks = 0
     started = time.perf_counter()
-    value = run(spec.config)
+    if validation_requested():
+        from repro.validate.hooks import activate, deactivate
+        from repro.validate.invariants import Validator
+
+        validator = Validator()
+        activate(validator)
+        try:
+            value = run(spec.config)
+        finally:
+            deactivate(validator)
+        validator.finish()
+        validator.raise_if_violations(context=spec.label())
+        checks = validator.checks
+    else:
+        value = run(spec.config)
     wall = time.perf_counter() - started
     metrics = CellMetrics(
-        wall_time_s=wall, events=events_of(spec, value), source=SOURCE_RUN
+        wall_time_s=wall,
+        events=events_of(spec, value),
+        source=SOURCE_RUN,
+        invariant_checks=checks,
     )
     return RunResult(spec=spec, value=value, metrics=metrics)
 

@@ -60,6 +60,9 @@ class CellMetrics:
     wall_time_s: float = 0.0
     events: int = 0
     source: str = SOURCE_RUN
+    #: Invariant checks performed while computing this cell (0 when the
+    #: run was not validated, or when the result came from a cache).
+    invariant_checks: int = 0
 
     @property
     def cached(self) -> bool:

@@ -50,6 +50,10 @@ class Simulator:
         self._stopped = False
         self._events_processed = 0
         self._cancelled_pending = 0
+        #: Optional validation observer (see :mod:`repro.validate`): when
+        #: set *before* :meth:`run`, ``observer.on_event(time)`` fires for
+        #: every event.  ``None`` (the default) costs one aliased branch.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -169,6 +173,7 @@ class Simulator:
         fired = 0
         heap = self._heap
         heappop = heapq.heappop
+        observer = self.observer
         try:
             while heap:
                 time, _priority, _seq, event = heap[0]
@@ -183,6 +188,8 @@ class Simulator:
                 heappop(heap)
                 event.sim = None
                 self._now = time
+                if observer is not None:
+                    observer.on_event(time)
                 event.callback(*event.args)
                 self._events_processed += 1
                 fired += 1

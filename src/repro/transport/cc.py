@@ -47,6 +47,9 @@ class CongestionControl:
         self.sender: Optional["TcpSender"] = None
         self.state = NORMAL
         self.cwr_seq = 0
+        #: Optional validation observer (see :mod:`repro.validate`); only
+        #: schemes that report reductions/rounds (BOS) consult it.
+        self.observer = None
 
     def attach(self, sender: "TcpSender") -> None:
         """Bind to the sender; called once from the sender's constructor."""

@@ -25,6 +25,7 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Timer
 from repro.transport.cc import CongestionControl
 from repro.transport.rto import RttEstimator
+from repro.validate.hooks import active_validator
 
 #: Fast retransmit after this many duplicate ACKs (RFC 5681).
 DUPACK_THRESHOLD = 3
@@ -116,6 +117,7 @@ class TcpSender:
         "sack_enabled",
         "_sacked",
         "_rescued",
+        "observer",
     )
 
     def __init__(
@@ -174,7 +176,12 @@ class TcpSender:
         self.sack_enabled = sack_enabled
         self._sacked: set = set()
         self._rescued: set = set()
+        #: Optional validation observer (see :mod:`repro.validate`).
+        self.observer = None
         host.register(flow, subflow, self._on_packet)
+        validator = active_validator()
+        if validator is not None:
+            validator.watch_sender(self)
 
     # ------------------------------------------------------------------
     # Derived state
@@ -270,6 +277,8 @@ class TcpSender:
     def _on_packet(self, packet: Packet) -> None:
         if not self.running:
             return
+        observer = self.observer
+        cwnd_before = self.cwnd
         now = self.sim.now
         ack = packet.ack
         rtt_sample: Optional[float] = None
@@ -337,6 +346,10 @@ class TcpSender:
         self.cc.on_ack(max(newly, 0), packet.ece_count, rtt_sample, now, round_ended)
         if round_ended:
             self.beg_seq = self.snd_nxt
+        if observer is not None:
+            observer.on_ack(
+                self, max(newly, 0), packet.ece_count, round_ended, cwnd_before
+            )
 
         if newly > 0 and self.on_delivered is not None:
             self.on_delivered(newly)
@@ -382,6 +395,8 @@ class TcpSender:
         self.beg_seq = self.snd_una
         self._sacked.clear()
         self._rescued.clear()
+        if self.observer is not None:
+            self.observer.on_rto(self)
         self.rto_timer.start(self.rtt.rto)
         self._try_send()
         if self.on_timeout_event is not None:

@@ -1,0 +1,115 @@
+"""The active-validator registry: how instrumentation gets switched on.
+
+This module is deliberately dependency-free (it imports nothing from the
+rest of :mod:`repro`) so that the lowest layers — :mod:`repro.net`,
+:mod:`repro.transport`, :mod:`repro.mptcp` — can consult it at *object
+construction time* without creating import cycles.
+
+The contract with the hot paths is:
+
+* when no validator is active, constructors see ``None`` and leave their
+  ``observer`` slot unset — every per-event / per-packet hook site is then
+  a single ``is None`` branch, which is what keeps validation zero-cost
+  when disabled (acceptance bound: <2% on ``benchmarks/test_perf_engine``);
+* when a validator is active (via :func:`activate`, the
+  :func:`validating` context manager, or ``$REPRO_VALIDATE`` consulted by
+  the campaign runner), newly constructed simulators, queues, links and
+  senders register themselves with it and receive observers.
+
+Activation nests: :func:`active_validator` returns the innermost
+validator, so an experiment executed *inside* a validated test gets its
+own fresh validator without disturbing the outer one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker, types only
+    from repro.validate.invariants import Validator
+
+_ENV_VALIDATE = "REPRO_VALIDATE"
+
+#: Stack of active validators; the top one receives new objects.
+_ACTIVE: List["Validator"] = []
+
+
+def activate(validator: "Validator") -> None:
+    """Push ``validator``: objects constructed from now on register with it."""
+    _ACTIVE.append(validator)
+
+
+def deactivate(validator: Optional["Validator"] = None) -> None:
+    """Pop the innermost validator (must match ``validator`` when given)."""
+    if not _ACTIVE:
+        raise RuntimeError("no validator is active")
+    top = _ACTIVE.pop()
+    if validator is not None and top is not validator:
+        _ACTIVE.append(top)
+        raise RuntimeError("deactivate() out of order: not the innermost validator")
+
+
+def active_validator() -> Optional["Validator"]:
+    """The innermost active validator, or ``None`` (the common case)."""
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    return None
+
+
+def validation_requested() -> bool:
+    """Whether runs should self-validate.
+
+    True when a validator is explicitly active in this process *or* the
+    ``$REPRO_VALIDATE`` environment variable is set to a non-empty value
+    other than ``0`` — the latter is how the CLI's ``--validate`` flag
+    reaches campaign worker processes (children inherit the environment).
+    """
+    if _ACTIVE:
+        return True
+    return os.environ.get(_ENV_VALIDATE, "") not in ("", "0")
+
+
+@contextlib.contextmanager
+def validating(
+    validator: Optional["Validator"] = None,
+    finish: bool = True,
+    raise_on_violation: bool = True,
+) -> Iterator["Validator"]:
+    """Run a block with an active validator; finish and (optionally) raise.
+
+    Usage::
+
+        with validating() as v:
+            net = build_single_bottleneck(...)
+            ...
+            net.sim.run(until=0.5)
+        # post-run checks ran; InvariantError raised if anything fired
+
+    Pass ``raise_on_violation=False`` to inspect ``v.violations`` yourself
+    (the negative tests do), or ``finish=False`` to also skip the post-run
+    sweep.
+    """
+    if validator is None:
+        from repro.validate.invariants import Validator
+
+        validator = Validator()
+    activate(validator)
+    try:
+        yield validator
+    finally:
+        deactivate(validator)
+    if finish:
+        validator.finish()
+    if raise_on_violation:
+        validator.raise_if_violations()
+
+
+__all__ = [
+    "activate",
+    "deactivate",
+    "active_validator",
+    "validation_requested",
+    "validating",
+]

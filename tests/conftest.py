@@ -11,6 +11,22 @@ from repro.net.queue import ThresholdECNQueue
 from repro.sim.engine import Simulator
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bless",
+        action="store_true",
+        default=False,
+        help="regenerate the checked-in golden digests instead of "
+        "diffing against them (commit the updated JSON)",
+    )
+
+
+@pytest.fixture
+def bless(request) -> bool:
+    """Whether this run should regenerate goldens (``--bless``)."""
+    return bool(request.config.getoption("--bless"))
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _hermetic_run_cache(tmp_path_factory):
     """Point the runner's disk cache at a per-session temp directory.
