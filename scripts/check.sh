@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Repo check: lint (if ruff is installed) + the tier-1 test suite,
-# which includes the runtime-invariant / golden-trace tests (-m invariants
-# selects just those).
+# Repo check: lint (ruff if installed, simlint always, mypy if installed)
+# + the tier-1 test suite, which includes the runtime-invariant /
+# golden-trace tests (-m invariants) and the simlint self-checks
+# (-m simlint).
 #
 #   scripts/check.sh               # everything
-#   scripts/check.sh --lint        # lint only
+#   scripts/check.sh --lint        # ruff (if installed) + simlint + mypy (if installed)
+#   scripts/check.sh --simlint     # simlint only
 #   scripts/check.sh --tests       # tests only
 #   scripts/check.sh --invariants  # invariant + golden-trace suite only
 #
-# ruff is optional: the config lives in pyproject.toml, but the check
-# degrades to tests-only on machines without it rather than failing.
+# ruff and mypy are optional: their configs live in pyproject.toml, but
+# the check degrades gracefully on machines without them.  simlint is
+# NOT optional — it is pure stdlib (repro.lint), so there is never a
+# reason to skip it.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,21 +23,39 @@ REPRO_PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 run_lint=1
 run_tests=1
+run_simlint_only=0
 run_invariants_only=0
 case "${1:-}" in
     --lint) run_tests=0 ;;
+    --simlint) run_tests=0; run_lint=0; run_simlint_only=1 ;;
     --tests) run_lint=0 ;;
     --invariants) run_lint=0; run_invariants_only=1 ;;
     "") ;;
-    *) echo "usage: scripts/check.sh [--lint|--tests|--invariants]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--lint|--simlint|--tests|--invariants]" >&2; exit 2 ;;
 esac
+
+simlint() {
+    echo "== simlint (python -m repro.lint) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint src/repro
+}
+
+if [ "$run_simlint_only" = 1 ]; then
+    simlint
+fi
 
 if [ "$run_lint" = 1 ]; then
     if command -v ruff > /dev/null 2>&1; then
         echo "== ruff =="
         ruff check src tests benchmarks
     else
-        echo "== ruff not installed; skipping lint =="
+        echo "== ruff not installed; skipping =="
+    fi
+    simlint
+    if command -v mypy > /dev/null 2>&1; then
+        echo "== mypy =="
+        mypy
+    else
+        echo "== mypy not installed; skipping =="
     fi
 fi
 
@@ -41,6 +63,6 @@ if [ "$run_invariants_only" = 1 ]; then
     echo "== pytest (invariants + golden traces) =="
     PYTHONPATH="$REPRO_PYTHONPATH" python -m pytest -x -q -m invariants
 elif [ "$run_tests" = 1 ]; then
-    echo "== pytest (tier 1, includes invariant suite) =="
+    echo "== pytest (tier 1, includes invariant + simlint suites) =="
     PYTHONPATH="$REPRO_PYTHONPATH" python -m pytest -x -q
 fi

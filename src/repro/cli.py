@@ -13,6 +13,8 @@ Examples::
     python -m repro utilization --pattern permutation
     python -m repro validate
     python -m repro validate --bless
+    python -m repro lint --list-rules
+    python -m repro lint src/repro --format json
     python -m repro table1 --duration 0.02 --validate
 
 Every subcommand prints the same rows/series its benchmark counterpart
@@ -156,6 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("rtt", "utilization"):
             p.add_argument("--pattern", default="permutation")
         _add_runner_options(p)
+
+    p = sub.add_parser(
+        "lint",
+        help="run simlint, the determinism & simulation-safety linter "
+             "(see LINTING.md); extra args pass through to repro.lint",
+    )
+    p.add_argument("lint_args", nargs=argparse.REMAINDER, metavar="ARGS",
+                   help="arguments forwarded to python -m repro.lint")
 
     p = sub.add_parser("validate", help=EXPERIMENT_INFO["validate"][1])
     p.add_argument("scenarios", nargs="*", metavar="SCENARIO",
@@ -407,6 +417,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         print(_list_text())
         return 0
+    if args.command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        # argparse.REMAINDER keeps a leading "--" separator; drop it.
+        lint_args = [a for a in args.lint_args if a != "--"]
+        return lint_main(lint_args)
     print(_RUNNERS[args.command](args))
     return 0
 

@@ -1,0 +1,49 @@
+"""simlint — AST-based determinism & simulation-safety linter.
+
+Static counterpart to the runtime invariant checker
+(:mod:`repro.validate`): where the validator catches a hazard *when it
+fires*, simlint rejects the code shapes that introduce such hazards
+before they ever run — unseeded randomness, wall-clock reads in model
+code, float-time equality, raw unit literals, set-order-dependent
+scheduling, past scheduling, mutable defaults, runner bypasses,
+pickle-unsafe members and swallowed exceptions.
+
+Usage::
+
+    python -m repro.lint [PATH ...]      # default: src/repro
+    python -m repro lint -- --fix src    # via the main CLI
+    pytest -m simlint                    # the self-check suite
+
+Rule catalog, suppression syntax (``# simlint: disable=SIM001``) and
+``--fix`` scope are documented in LINTING.md.  Pure stdlib by design:
+unlike ruff, simlint runs anywhere the simulator runs.
+"""
+
+from repro.lint.core import (
+    Analyzer,
+    FileContext,
+    Finding,
+    Fix,
+    Rule,
+    Severity,
+    Suppressions,
+    iter_python_files,
+)
+from repro.lint.fixes import apply_fixes, fix_file
+from repro.lint.rules import RULE_CLASSES, all_rules, rules_by_code
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "Fix",
+    "Rule",
+    "RULE_CLASSES",
+    "Severity",
+    "Suppressions",
+    "all_rules",
+    "apply_fixes",
+    "fix_file",
+    "iter_python_files",
+    "rules_by_code",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` — the simlint CLI (see :mod:`repro.lint.cli`)."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,141 @@
+"""The simlint command line: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes: 0 clean, 1 findings remain, 2 usage error.  ``--fix``
+applies the mechanically safe fixes in place and reports what is left.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.core import Analyzer, Finding, Rule, iter_python_files
+from repro.lint.fixes import fix_file
+from repro.lint.rules import all_rules
+
+DEFAULT_TARGET = "src/repro"
+
+
+def _parse_codes(raw: str, parser: argparse.ArgumentParser) -> List[str]:
+    known = {rule.code for rule in all_rules()}
+    codes = [token.strip().upper() for token in raw.split(",") if token.strip()]
+    for code in codes:
+        if code not in known:
+            parser.error(
+                f"unknown rule code {code!r} (known: {', '.join(sorted(known))})"
+            )
+    return codes
+
+
+def _select_rules(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> List[Rule]:
+    rules = all_rules()
+    if args.select:
+        wanted = set(_parse_codes(args.select, parser))
+        rules = [rule for rule in rules if rule.code in wanted]
+    if args.ignore:
+        dropped = set(_parse_codes(args.ignore, parser))
+        rules = [rule for rule in rules if rule.code not in dropped]
+    if not rules:
+        parser.error("--select/--ignore left no rules to run")
+    return rules
+
+
+def _rule_listing() -> str:
+    lines = ["simlint rules (see LINTING.md for the full catalog):"]
+    for rule in all_rules():
+        lines.append(f"  {rule.code}  {rule.name:<24} [{rule.severity.value}]")
+        lines.append(f"         {rule.rationale}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "simlint: AST-based determinism & simulation-safety linter "
+            "for the XMP reproduction (pure stdlib; see LINTING.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=f"files or directories to lint (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run exclusively")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanically safe fixes in place")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.list_rules:
+        print(_rule_listing())
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        if os.path.isdir(DEFAULT_TARGET):
+            paths = [DEFAULT_TARGET]
+        else:
+            parser.error(
+                f"no paths given and default target {DEFAULT_TARGET!r} "
+                "does not exist here"
+            )
+    analyzer = Analyzer(rules=_select_rules(args, parser))
+
+    files = list(iter_python_files(paths))
+    findings: List[Finding] = []
+    fixed_total = 0
+    for path in files:
+        if args.fix:
+            applied, remaining = fix_file(analyzer, path)
+            fixed_total += applied
+            findings.extend(remaining)
+        else:
+            findings.extend(analyzer.lint_file(path))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "checked_files": len(files),
+                    "fixed": fixed_total,
+                    "findings": [f.to_json() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if not args.quiet:
+            summary = (
+                f"simlint: {len(findings)} finding(s) in {len(files)} file(s)"
+            )
+            if args.fix:
+                summary += f", {fixed_total} fixed"
+            print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,43 @@
+"""The simlint rule catalog.
+
+One :class:`~repro.lint.core.Rule` subclass per SIMxxx code; see
+LINTING.md for the catalog with rationale.  :func:`all_rules` is the
+single registry the analyzer, CLI and docs build from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.lint.core import Rule
+from repro.lint.rules.determinism import UnorderedIterationRule, UnseededRandomRule
+from repro.lint.rules.drivers import PickleUnsafeMemberRule, UnroutedDriverRule
+from repro.lint.rules.numerics import FloatTimeEqualityRule, MagicUnitLiteralRule
+from repro.lint.rules.scheduling import PastSchedulingRule
+from repro.lint.rules.structure import MutableDefaultRule, SwallowedExceptionRule
+from repro.lint.rules.wallclock import WallClockRule
+
+RULE_CLASSES: Tuple[Type[Rule], ...] = (
+    UnseededRandomRule,  # SIM001
+    WallClockRule,  # SIM002
+    FloatTimeEqualityRule,  # SIM003
+    MagicUnitLiteralRule,  # SIM004
+    UnorderedIterationRule,  # SIM005
+    PastSchedulingRule,  # SIM006
+    MutableDefaultRule,  # SIM007
+    UnroutedDriverRule,  # SIM008
+    PickleUnsafeMemberRule,  # SIM009
+    SwallowedExceptionRule,  # SIM010
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rules_by_code() -> Dict[str, Type[Rule]]:
+    return {cls.code: cls for cls in RULE_CLASSES}
+
+
+__all__ = ["RULE_CLASSES", "all_rules", "rules_by_code"]

@@ -1,0 +1,209 @@
+"""Determinism rules: seeded randomness (SIM001) and ordered iteration (SIM005).
+
+The whole reproduction rests on bit-for-bit deterministic replay (same
+seed, same trace, same Fig. 3-11 curves).  Two classic ways to lose it:
+
+* drawing from the process-global ``random`` module (seeded from OS
+  entropy) or an unseeded ``random.Random()`` instead of routing through
+  :class:`repro.sim.random.RandomStreams`;
+* iterating a ``set`` while scheduling events or drawing randomness —
+  ``PYTHONHASHSEED`` varies string hashes across processes, so set order
+  is not stable run-to-run even though dict order is.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, Finding, Fix, Rule, Severity
+
+#: Module-level functions of :mod:`random` that consume the global RNG.
+GLOBAL_RNG_FUNCTIONS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+def _unseeded_random_call(node: ast.Call) -> bool:
+    """``random.Random()`` / ``Random()`` with no seed argument at all."""
+    return not node.args and not node.keywords
+
+
+class UnseededRandomRule(Rule):
+    """SIM001: all randomness must come from an explicitly seeded stream."""
+
+    code = "SIM001"
+    name = "unseeded-random"
+    severity = Severity.ERROR
+    rationale = (
+        "unseeded RNGs break bit-for-bit replay; use "
+        "repro.sim.random.RandomStreams or a seed-constructed random.Random"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+    # The one module that owns RNG construction may do as it likes.
+    allowed_path_suffixes = ("repro/sim/random.py",)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name == "*" or alias.name in GLOBAL_RNG_FUNCTIONS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"importing random.{alias.name} binds the "
+                            "process-global RNG; pass a seeded "
+                            "random.Random (see repro.sim.random)",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "random":
+                if func.attr in GLOBAL_RNG_FUNCTIONS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"random.{func.attr}() draws from the process-global "
+                        "RNG; use a stream from "
+                        "repro.sim.random.RandomStreams instead",
+                    )
+                elif func.attr == "Random" and _unseeded_random_call(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "random.Random() without a seed argument is "
+                        "nondeterministic; construct it with an explicit seed",
+                        fix=self._seed_fix(node, ctx),
+                    )
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in ("np", "numpy")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"numpy.random.{func.attr}() uses numpy's global RNG; "
+                    "use numpy.random.Generator seeded from the RunSpec seed",
+                )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "Random"
+            and _unseeded_random_call(node)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "Random() without a seed argument is nondeterministic; "
+                "construct it with an explicit seed",
+                fix=self._seed_fix(node, ctx),
+            )
+
+    def _seed_fix(self, node: ast.Call, ctx: FileContext) -> "Fix | None":
+        """Rewrite ``...Random()`` to ``...Random(0)`` when single-line."""
+        if node.end_lineno != node.lineno or node.end_col_offset is None:
+            return None
+        segment = ctx.segment(node)
+        if segment is None or not segment.endswith("()"):
+            return None
+        return Fix(
+            lineno=node.lineno,
+            col_start=node.col_offset,
+            col_end=node.end_col_offset,
+            expected=segment,
+            replacement=segment[:-2] + "(0)",
+        )
+
+
+#: Method names that schedule or cancel simulator events.
+SCHEDULING_METHODS = frozenset({"schedule", "schedule_at", "cancel"})
+
+
+def _is_set_typed(expr: ast.expr) -> bool:
+    """Syntactically set-typed: literals, comprehensions, set()/frozenset(),
+    and set-algebra expressions over those."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in ("set", "frozenset")
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_typed(expr.left) or _is_set_typed(expr.right)
+    return False
+
+
+def _hazardous_call(node: ast.Call) -> "str | None":
+    """What (if anything) an in-loop call does that set order would perturb."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in SCHEDULING_METHODS:
+        return "event scheduling"
+    if func.attr in GLOBAL_RNG_FUNCTIONS:
+        return "an RNG draw"
+    return None
+
+
+class UnorderedIterationRule(Rule):
+    """SIM005: no event scheduling / RNG draws while iterating a set."""
+
+    code = "SIM005"
+    name = "unordered-iteration"
+    severity = Severity.ERROR
+    rationale = (
+        "set iteration order depends on PYTHONHASHSEED; feeding it into "
+        "schedule() or RNG draws reorders events between runs"
+    )
+    node_types = (ast.For, ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            set_iter = _is_set_typed(node.iter)
+            body: "list[ast.AST]" = list(node.body)
+        else:
+            assert isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            )
+            set_iter = any(_is_set_typed(gen.iter) for gen in node.generators)
+            body = [node]
+        if not set_iter:
+            return
+        for child in body:
+            for inner in ast.walk(child):
+                if isinstance(inner, ast.Call):
+                    hazard = _hazardous_call(inner)
+                    if hazard is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"iterating a set feeds {hazard}; iterate a "
+                            "sorted() or otherwise deterministically "
+                            "ordered sequence instead",
+                        )
+                        return

@@ -1,0 +1,156 @@
+"""Numeric-hygiene rules: float-time equality (SIM003), magic units (SIM004).
+
+Simulation time is a float in seconds.  Exact ``==`` on derived times is
+only stable while nobody reorders an arithmetic expression; the engine
+guarantees deterministic *ordering* via ``(time, priority, seq)`` tuples
+precisely so model code never needs float equality.  Likewise, the
+simulator's base units (seconds, bits/s, bytes) make a bare ``rate=1e9``
+ambiguous — ``repro.sim.units`` exists so every literal names its unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import FileContext, Finding, Rule, Severity
+
+#: Identifiers (variable names / attribute names) treated as sim-time values.
+TIME_NAMES = frozenset(
+    {
+        "now",
+        "_now",
+        "deadline",
+        "_deadline",
+        "expiry",
+        "_expiry",
+        "time",
+        "_time",
+        "start_time",
+        "end_time",
+        "finish_time",
+        "arrival_time",
+        "departure_time",
+        "rtt",
+        "srtt",
+        "base_rtt",
+    }
+)
+
+
+def time_like(expr: ast.expr) -> bool:
+    """Whether an expression reads like a simulation-time value."""
+    if isinstance(expr, ast.Name):
+        return expr.id in TIME_NAMES
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in TIME_NAMES
+    return False
+
+
+class FloatTimeEqualityRule(Rule):
+    """SIM003: no ``==`` / ``!=`` between sim-time expressions."""
+
+    code = "SIM003"
+    name = "float-time-equality"
+    severity = Severity.WARNING
+    rationale = (
+        "exact float equality on derived times breaks under any "
+        "re-association; compare with <=/>= or an explicit tolerance"
+    )
+    node_types = (ast.Compare,)
+    # Tests deliberately assert exact replayed times; that is the
+    # determinism claim itself, not a hazard.
+    excluded_path_parts = ("tests/", "benchmarks/")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                operands = (left, right)
+                if any(time_like(o) for o in operands) and not any(
+                    isinstance(o, ast.Constant) and o.value is None
+                    for o in operands
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact ==/!= on a simulation-time float; use an "
+                        "ordering comparison or an explicit tolerance",
+                    )
+            left = right
+
+
+#: Call keywords whose value carries a unit the literal cannot express.
+UNIT_KWARGS = frozenset(
+    {
+        "rate",
+        "rate_bps",
+        "bandwidth",
+        "bandwidth_bps",
+        "link_rate",
+        "link_rate_bps",
+        "access_rate",
+        "access_rate_bps",
+        "delay",
+        "delay_s",
+        "hop_delay",
+        "propagation_delay",
+        "rtt",
+        "rtt_s",
+        "base_rtt",
+    }
+)
+
+
+def _numeric_literal(expr: ast.expr) -> Optional[float]:
+    """The value of a bare (possibly negated) numeric literal, else None."""
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        inner = _numeric_literal(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, ast.Constant) and type(expr.value) in (int, float):
+        return float(expr.value)
+    return None
+
+
+class MagicUnitLiteralRule(Rule):
+    """SIM004: bandwidth/delay arguments must go through repro.sim.units."""
+
+    code = "SIM004"
+    name = "magic-unit-literal"
+    severity = Severity.ERROR
+    rationale = (
+        "a bare number in a rate/delay argument hides its unit; "
+        "repro.sim.units conversions make Gbps-vs-bps bugs impossible"
+    )
+    node_types = (ast.Call,)
+    excluded_path_parts = ("tests/", "benchmarks/")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        for keyword in node.keywords:
+            if keyword.arg is None or keyword.arg not in UNIT_KWARGS:
+                continue
+            value = _numeric_literal(keyword.value)
+            if value is not None and value != 0:
+                yield self.finding(
+                    ctx,
+                    keyword.value,
+                    f"bare numeric literal for {keyword.arg}=; wrap it in a "
+                    "repro.sim.units conversion "
+                    "(e.g. gigabits_per_second, microseconds)",
+                )
+        # Network.connect(a, b, rate_bps, delay_s, ...): the two positional
+        # unit slots of the one call every topology goes through.
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "connect":
+            for index, label in ((2, "rate_bps"), (3, "delay_s")):
+                if index < len(node.args):
+                    value = _numeric_literal(node.args[index])
+                    if value is not None and value != 0:
+                        yield self.finding(
+                            ctx,
+                            node.args[index],
+                            f"bare numeric literal for connect() {label}; "
+                            "wrap it in a repro.sim.units conversion",
+                        )

@@ -1,0 +1,60 @@
+"""SIM006: never schedule behind a captured ``now``.
+
+``Simulator.schedule`` raises on a negative delay and ``schedule_at``
+raises on a past absolute time, but only *at runtime*, possibly hours
+into a campaign.  The two statically recognizable shapes — a negative
+literal delay, and ``schedule_at(now - offset)`` where ``now`` was
+captured before other callbacks may have advanced the clock — are
+always bugs, so simlint rejects them before they ever run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, Finding, Rule, Severity
+from repro.lint.rules.numerics import _numeric_literal, time_like
+
+
+class PastSchedulingRule(Rule):
+    """SIM006: no statically negative delays or ``now - x`` absolute times."""
+
+    code = "SIM006"
+    name = "past-scheduling"
+    severity = Severity.ERROR
+    rationale = (
+        "a negative delay or schedule_at(captured_now - offset) lands in "
+        "the past and raises SimulationError mid-campaign"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute) or not node.args:
+            return
+        first = node.args[0]
+        if func.attr == "schedule":
+            value = _numeric_literal(first)
+            if value is not None and value < 0:
+                yield self.finding(
+                    ctx,
+                    first,
+                    f"schedule() with negative delay {value}; delays are "
+                    "relative to now and must be >= 0",
+                )
+        elif func.attr == "schedule_at":
+            if (
+                isinstance(first, ast.BinOp)
+                and isinstance(first.op, ast.Sub)
+                and time_like(first.left)
+            ):
+                yield self.finding(
+                    ctx,
+                    first,
+                    "schedule_at(<captured now> - offset) can land in the "
+                    "past once other events have advanced the clock; "
+                    "schedule a non-negative delay from the live clock "
+                    "instead",
+                )

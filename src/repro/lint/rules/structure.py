@@ -1,0 +1,133 @@
+"""Structural-safety rules: mutable defaults (SIM007), swallowed errors (SIM010).
+
+A mutable default argument is shared across every call — in a simulator
+that means shared across every *flow*, turning independent senders into
+accidentally coupled ones.  And a bare ``except:`` (or a broad handler
+that only ``pass``es) in the engine or runner can swallow an
+``InvariantError`` or a worker crash, converting a loud determinism
+violation into silently wrong curves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import FileContext, Finding, Fix, Rule, Severity
+
+#: Constructors returning fresh mutable containers.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+
+def _is_mutable_literal(expr: ast.expr) -> bool:
+    if isinstance(
+        expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """SIM007: no mutable default arguments."""
+
+    code = "SIM007"
+    name = "mutable-default"
+    severity = Severity.ERROR
+    rationale = (
+        "a mutable default is shared across calls, coupling what should be "
+        "independent flows/queues; default to None and construct in the body"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        label = (
+            getattr(node, "name", None) or "<lambda>"
+        )
+        for default in defaults:
+            if _is_mutable_literal(default):
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"mutable default argument in {label}(); it is shared "
+                    "across every call — default to None and build the "
+                    "container in the body",
+                )
+
+
+def _broad_handler(type_node: Optional[ast.expr]) -> bool:
+    """Bare, ``Exception`` or ``BaseException`` (possibly inside a tuple)."""
+    if type_node is None:
+        return True
+    if isinstance(type_node, ast.Name):
+        return type_node.id in ("Exception", "BaseException")
+    if isinstance(type_node, ast.Attribute):
+        return type_node.attr in ("Exception", "BaseException")
+    if isinstance(type_node, ast.Tuple):
+        return any(_broad_handler(elt) for elt in type_node.elts)
+    return False
+
+
+class SwallowedExceptionRule(Rule):
+    """SIM010: no bare ``except:`` and no broad handler that only passes."""
+
+    code = "SIM010"
+    name = "swallowed-exception"
+    severity = Severity.ERROR
+    rationale = (
+        "a bare/broad silent handler can eat InvariantError or a worker "
+        "crash, turning a loud violation into silently wrong results"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield self.finding(
+                ctx,
+                node,
+                "bare except: also catches KeyboardInterrupt/SystemExit; "
+                "name the exception (at least 'except Exception:')",
+                fix=self._except_fix(node, ctx),
+            )
+            return
+        only_pass = len(node.body) == 1 and isinstance(node.body[0], ast.Pass)
+        if only_pass and _broad_handler(node.type):
+            yield self.finding(
+                ctx,
+                node,
+                "broad exception handler whose body is only 'pass' swallows "
+                "every error silently; narrow the type or handle it",
+            )
+
+    def _except_fix(self, node: ast.ExceptHandler, ctx: FileContext) -> "Fix | None":
+        """Rewrite ``except:`` to ``except Exception:`` on its own line."""
+        line = ctx.line_text(node.lineno)
+        prefix = line[node.col_offset :]
+        if not prefix.startswith("except"):
+            return None
+        colon = prefix.find(":")
+        if colon < 0 or prefix[len("except") : colon].strip():
+            return None
+        return Fix(
+            lineno=node.lineno,
+            col_start=node.col_offset,
+            col_end=node.col_offset + colon + 1,
+            expected=prefix[: colon + 1],
+            replacement="except Exception:",
+        )

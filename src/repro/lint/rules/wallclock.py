@@ -1,0 +1,97 @@
+"""SIM002: wall-clock time must never leak into simulation logic.
+
+Simulation time is ``Simulator.now`` and nothing else.  A single
+``time.time()`` in a model path silently couples results to host load,
+which destroys replay and invalidates every timing-sensitive claim
+(ECN marking vs. RTT, Fig. 10's RTT distributions).  Wall-clock reads
+are legitimate only where we *measure ourselves*: the campaign runner's
+per-cell timing and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, Finding, Rule, Severity
+
+#: ``time`` module attributes that read host clocks.
+TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime`` / ``date`` constructors that read host clocks.
+DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(Rule):
+    """SIM002: no host-clock reads outside the timing allowlist."""
+
+    code = "SIM002"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    rationale = (
+        "host clocks couple results to machine load; simulation time is "
+        "Simulator.now only (runner cell timing is the one allowed reader)"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+    #: The runner's choke point times every cell for the [runner] summary.
+    allowed_path_suffixes = ("repro/runner/registry.py",)
+    #: Benchmarks measure wall time on purpose; tests may time themselves.
+    excluded_path_parts = ("benchmarks/", "tests/")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name == "*" or alias.name in TIME_FUNCTIONS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"importing time.{alias.name} pulls a wall clock "
+                            "into scope; simulation code must use "
+                            "Simulator.now",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        value = func.value
+        if isinstance(value, ast.Name) and value.id == "time":
+            if func.attr in TIME_FUNCTIONS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"time.{func.attr}() reads the host clock; simulation "
+                    "code must use Simulator.now",
+                )
+        elif func.attr in DATETIME_FUNCTIONS:
+            if isinstance(value, ast.Name) and value.id in ("datetime", "date"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{value.id}.{func.attr}() reads the host clock; "
+                    "simulation code must use Simulator.now",
+                )
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr in ("datetime", "date")
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "datetime"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"datetime.{value.attr}.{func.attr}() reads the host "
+                    "clock; simulation code must use Simulator.now",
+                )

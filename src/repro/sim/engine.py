@@ -15,7 +15,7 @@ two events that were scheduled in a defined order at the same instant.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.events import Event
 
@@ -44,7 +44,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[tuple] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -53,7 +53,7 @@ class Simulator:
         #: Optional validation observer (see :mod:`repro.validate`): when
         #: set *before* :meth:`run`, ``observer.on_event(time)`` fires for
         #: every event.  ``None`` (the default) costs one aliased branch.
-        self.observer = None
+        self.observer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock

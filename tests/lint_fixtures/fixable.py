@@ -1,0 +1,16 @@
+# simlint-path: src/repro/runner/fixture_fixable.py
+"""--fix corpus: every finding in this file carries a mechanically safe
+fix, and the fixed file must lint completely clean."""
+import random
+
+
+def make_rng():
+    return random.Random()  # EXPECT: SIM001
+
+
+def read_optional(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except:  # EXPECT: SIM010
+        return None

@@ -1,0 +1,25 @@
+# simlint-path: src/repro/traffic/fixture_sim001.py
+"""Known-bad: process-global and unseeded randomness."""
+import random
+
+from random import shuffle  # EXPECT: SIM001
+
+
+def pick(items):
+    return random.choice(items)  # EXPECT: SIM001
+
+
+def jitter():
+    return random.random() * 1e-6  # EXPECT: SIM001
+
+
+def reseed():
+    random.seed(42)  # EXPECT: SIM001
+
+
+def make_rng():
+    return random.Random()  # EXPECT: SIM001
+
+
+def numpy_draw(np):
+    return np.random.uniform(0.0, 1.0)  # EXPECT: SIM001

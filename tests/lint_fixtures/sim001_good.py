@@ -1,0 +1,22 @@
+# simlint-path: src/repro/traffic/fixture_sim001_ok.py
+"""Known-good twin: every RNG is seed-constructed or injected."""
+import random
+
+from repro.sim.random import RandomStreams
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def default_rng():
+    return random.Random(0)
+
+
+def pick(rng, items):
+    return rng.choice(items)
+
+
+def stream_draw():
+    streams = RandomStreams(7)
+    return streams.stream("flow-sizes").random()

@@ -1,0 +1,9 @@
+# simlint-path: src/repro/runner/registry.py
+"""Known-good: the runner's cell-timing choke point is allowlisted."""
+import time
+
+
+def timed_run(run, config):
+    started = time.perf_counter()
+    value = run(config)
+    return value, time.perf_counter() - started

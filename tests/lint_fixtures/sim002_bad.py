@@ -1,0 +1,22 @@
+# simlint-path: src/repro/metrics/fixture_sim002.py
+"""Known-bad: wall-clock reads in model code."""
+import time
+from datetime import datetime
+
+from time import perf_counter  # EXPECT: SIM002
+
+
+def stamp():
+    return time.time()  # EXPECT: SIM002
+
+
+def tick():
+    return time.monotonic()  # EXPECT: SIM002
+
+
+def bench():
+    return time.perf_counter_ns()  # EXPECT: SIM002
+
+
+def label():
+    return datetime.now().isoformat()  # EXPECT: SIM002

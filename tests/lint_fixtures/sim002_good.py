@@ -1,0 +1,14 @@
+# simlint-path: src/repro/metrics/fixture_sim002_ok.py
+"""Known-good twin: all timing comes from the simulation clock."""
+
+
+def stamp(sim):
+    return sim.now
+
+
+def window(sim, start):
+    return sim.now - start
+
+
+def deadline_passed(sim, deadline):
+    return sim.now >= deadline

@@ -1,0 +1,16 @@
+# simlint-path: src/repro/sim/fixture_sim003.py
+"""Known-bad: exact float equality on simulation times."""
+
+
+def collides(event, other):
+    return event.time == other.time  # EXPECT: SIM003
+
+
+def expired(sim, deadline):
+    if sim.now == deadline:  # EXPECT: SIM003
+        return True
+    return sim.now != deadline  # EXPECT: SIM003
+
+
+def fresh_flow(flow):
+    return flow.start_time == 0.0  # EXPECT: SIM003

@@ -1,0 +1,14 @@
+# simlint-path: src/repro/sim/fixture_sim003_ok.py
+"""Known-good twin: ordering comparisons, tolerances, and None checks."""
+
+
+def collides(event, other, tolerance=1e-12):
+    return abs(event.time - other.time) < tolerance
+
+
+def expired(sim, deadline):
+    return sim.now >= deadline
+
+
+def unset(deadline):
+    return deadline is None or deadline == None  # noqa: E711

@@ -1,0 +1,12 @@
+# simlint-path: src/repro/topology/fixture_sim004.py
+"""Known-bad: raw numeric literals where a units conversion exists."""
+
+
+def build(net, a, b, queue):
+    net.connect(a, b, 1e9, 30e-6, queue_factory=queue)  # EXPECT: SIM004 SIM004
+    net.add_link(a, b, rate=10e9)  # EXPECT: SIM004
+    return make_profile(rtt=0.000225, delay=5e-6)  # EXPECT: SIM004 SIM004
+
+
+def make_profile(**kwargs):
+    return kwargs

@@ -1,0 +1,14 @@
+# simlint-path: src/repro/topology/fixture_sim004_ok.py
+"""Known-good twin: every unit-carrying argument names its unit."""
+from repro.sim.units import gigabits_per_second, microseconds
+
+
+def build(net, a, b, queue, access_rate_bps):
+    net.connect(a, b, gigabits_per_second(1), microseconds(30),
+                queue_factory=queue)
+    net.add_link(a, b, rate=access_rate_bps)
+    return make_profile(rtt=microseconds(225), delay=microseconds(5))
+
+
+def make_profile(**kwargs):
+    return kwargs

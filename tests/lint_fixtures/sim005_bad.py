@@ -1,0 +1,16 @@
+# simlint-path: src/repro/traffic/fixture_sim005.py
+"""Known-bad: set iteration feeding event scheduling and RNG draws."""
+
+
+def start_all(sim, hosts):
+    for host in set(hosts):  # EXPECT: SIM005
+        sim.schedule(0.0, host.start)
+
+
+def jittered(sim, rng, flows):
+    for flow in {f for f in flows if f.active}:  # EXPECT: SIM005
+        flow.start_at(rng.uniform(0.0, 1.0))
+
+
+def sizes(rng, peers):
+    return [rng.choice((1, 2, 3)) for peer in set(peers)]  # EXPECT: SIM005

@@ -1,0 +1,17 @@
+# simlint-path: src/repro/traffic/fixture_sim005_ok.py
+"""Known-good twin: iteration order is made deterministic first."""
+
+
+def start_all(sim, hosts):
+    for host in sorted(set(hosts), key=lambda h: h.name):
+        sim.schedule(0.0, host.start)
+
+
+def jittered(sim, rng, flows):
+    for flow in [f for f in flows if f.active]:
+        flow.start_at(rng.uniform(0.0, 1.0))
+
+
+def collect(hosts):
+    # Iterating a set is fine when nothing order-sensitive happens.
+    return {host.name for host in set(hosts)}

@@ -1,0 +1,12 @@
+# simlint-path: src/repro/transport/fixture_sim006.py
+"""Known-bad: statically-past scheduling."""
+
+
+def rearm(sim, now, callback):
+    sim.schedule(-0.001, callback)  # EXPECT: SIM006
+    sim.schedule_at(now - 0.5, callback)  # EXPECT: SIM006
+
+
+def backdate(sim, callback):
+    start_time = sim.now
+    sim.schedule_at(start_time - 1e-6, callback)  # EXPECT: SIM006

@@ -1,0 +1,11 @@
+# simlint-path: src/repro/transport/fixture_sim006_ok.py
+"""Known-good twin: forward-only scheduling from the live clock."""
+
+
+def rearm(sim, now, callback):
+    sim.schedule(0.0, callback)
+    sim.schedule_at(now + 0.5, callback)
+
+
+def defer(sim, delay, callback):
+    sim.schedule(max(0.0, delay), callback)

@@ -1,0 +1,19 @@
+# simlint-path: src/repro/metrics/fixture_sim007.py
+"""Known-bad: mutable default arguments."""
+
+
+def record(sample, sink=[]):  # EXPECT: SIM007
+    sink.append(sample)
+    return sink
+
+
+def tally(counts={}):  # EXPECT: SIM007
+    return counts
+
+
+def gather(*, seen=set()):  # EXPECT: SIM007
+    return seen
+
+
+def collect(samples=list()):  # EXPECT: SIM007
+    return samples

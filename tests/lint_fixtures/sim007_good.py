@@ -1,0 +1,16 @@
+# simlint-path: src/repro/metrics/fixture_sim007_ok.py
+"""Known-good twin: None defaults, immutable defaults."""
+
+
+def record(sample, sink=None):
+    sink = [] if sink is None else sink
+    sink.append(sample)
+    return sink
+
+
+def tally(counts=None):
+    return {} if counts is None else counts
+
+
+def gather(*, seen=()):
+    return set(seen)

@@ -1,0 +1,20 @@
+# simlint-path: src/repro/experiments/fixture_sim008.py
+"""Known-bad: a public driver that bypasses the campaign runner."""
+from repro.topology.bottleneck import build_single_bottleneck
+
+
+def run_fixture(config):  # EXPECT: SIM008
+    net = build_single_bottleneck(num_pairs=2)
+    net.sim.run(until=config.duration)
+    return net
+
+
+def run_direct(config):  # EXPECT: SIM008
+    sim = Simulator()
+    sim.run(until=config.duration)
+    return sim
+
+
+class Simulator:
+    def run(self, until):
+        return until

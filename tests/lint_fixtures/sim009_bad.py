@@ -1,0 +1,21 @@
+# simlint-path: src/repro/experiments/fixture_sim009.py
+"""Known-bad: pickle-unsafe members on RunSpec-reachable classes."""
+
+
+class FixtureScenario:
+    summarize = lambda self: 0.0  # EXPECT: SIM009
+
+    def __init__(self):
+        self.score = lambda rates: sum(rates)  # EXPECT: SIM009
+
+    def attach(self):
+        def local_callback():
+            return 1.0
+
+        self.callback = local_callback  # EXPECT: SIM009
+
+
+class FixtureResult:
+    def __init__(self, rows):
+        self.rows = rows
+        self.keyfn = lambda row: row[0]  # EXPECT: SIM009

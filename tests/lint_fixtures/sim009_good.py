@@ -1,0 +1,27 @@
+# simlint-path: src/repro/experiments/fixture_sim009_ok.py
+"""Known-good twin: picklable members; lambdas that are never stored on
+a RunSpec-reachable class are fine."""
+import functools
+
+
+def _first_column(row):
+    return row[0]
+
+
+def _scaled(value, factor):
+    return value * factor
+
+
+class FixtureScenario:
+    def __init__(self):
+        self.keyfn = _first_column
+        self.scale = functools.partial(_scaled, factor=2.0)
+
+    def ordered(self, rows):
+        # A transient sort key is not a stored member.
+        return sorted(rows, key=lambda row: row[0])
+
+
+class FixtureHelper:  # not RunSpec-reachable by naming convention
+    def __init__(self):
+        self.thunk = lambda: 0.0

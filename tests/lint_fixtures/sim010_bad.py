@@ -1,0 +1,23 @@
+# simlint-path: src/repro/runner/fixture_sim010.py
+"""Known-bad: bare and silently-swallowing exception handlers."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:  # EXPECT: SIM010
+        return None
+
+
+def ignore_errors(fn):
+    try:
+        fn()
+    except Exception:  # EXPECT: SIM010
+        pass
+
+
+def ignore_everything(fn):
+    try:
+        fn()
+    except (OSError, BaseException):  # EXPECT: SIM010
+        pass

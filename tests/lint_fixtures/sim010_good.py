@@ -1,0 +1,25 @@
+# simlint-path: src/repro/runner/fixture_sim010_ok.py
+"""Known-good twin: narrow handlers, or broad handlers that actually
+handle (log, clean up, re-raise)."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+
+
+def best_effort_unlink(path):
+    try:
+        path.unlink()
+    except OSError:
+        pass  # narrow best-effort cleanup is fine
+
+
+def guarded(fn, log):
+    try:
+        fn()
+    except Exception as exc:
+        log.append(exc)
+        raise

@@ -1,0 +1,27 @@
+# simlint-path: src/repro/traffic/fixture_suppressed.py
+"""Suppression corpus: every hazard here is explicitly waived, so the
+file must lint clean."""
+import random
+import time
+
+
+def pick(items):
+    return random.choice(items)  # simlint: disable=SIM001
+
+
+def stamp():
+    return time.time()  # simlint: disable=SIM002
+
+
+def record(sample, sink=[]):  # simlint: disable=SIM007
+    sink.append(sample)
+    return sink
+
+
+def chaos(sim, hosts):
+    for host in set(hosts):  # simlint: disable=all
+        sim.schedule(0.0, host.start)
+
+
+def multi(event, other, counts={}):  # simlint: disable=SIM003,SIM007
+    return event.time == other.time or counts  # simlint: disable=SIM003

@@ -1,0 +1,9 @@
+# simlint-path: src/repro/traffic/fixture_suppressed_partial.py
+"""A suppression only waives the codes it names: the SIM002 waiver below
+does not cover the SIM001 hazard on the same line."""
+import random
+import time
+
+
+def jitter():
+    return random.random() * time.time()  # simlint: disable=SIM002  # EXPECT: SIM001
