@@ -39,6 +39,19 @@ simlint() {
     PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint src/repro
 }
 
+# Compiled bytecode must never be tracked (it is machine/version
+# specific and bloats every diff).  Cheap, so it runs in every mode.
+if command -v git > /dev/null 2>&1 && git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+    echo "== tracked-bytecode guard =="
+    tracked_pyc=$(git ls-files | grep -E '(^|/)__pycache__/|\.py[cod]$' || true)
+    if [ -n "$tracked_pyc" ]; then
+        echo "error: compiled bytecode is tracked in git:" >&2
+        echo "$tracked_pyc" >&2
+        echo "fix: git rm -r --cached <paths>  (.gitignore already excludes them)" >&2
+        exit 1
+    fi
+fi
+
 if [ "$run_simlint_only" = 1 ]; then
     simlint
 fi

@@ -16,6 +16,8 @@ Examples::
     python -m repro lint --list-rules
     python -m repro lint src/repro --format json
     python -m repro table1 --duration 0.02 --validate
+    python -m repro profile fattree --duration 0.05
+    python -m repro table1 --telemetry telemetry/
 
 Every subcommand prints the same rows/series its benchmark counterpart
 asserts on; the CLI exists so a single experiment can be explored (and
@@ -33,6 +35,12 @@ timing table.
 (:mod:`repro.validate`; implies ``--no-cache``), and the ``validate``
 subcommand diffs the golden-trace scenarios against their checked-in
 digests (``--bless`` regenerates them) — see VALIDATION.md.
+
+``--telemetry DIR`` records one JSONL document per cell (spec
+fingerprint, cache tier, event counts, engine hot-spot profile) under
+``DIR/runs.jsonl``, and the ``profile`` subcommand runs one experiment
+kind under the engine profiler and prints the hot-spot table — see
+OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -90,6 +98,11 @@ EXPERIMENT_INFO: Dict[str, Tuple[int, str]] = {
         "run the golden-trace scenarios under the invariant checker "
         "(--bless regenerates goldens)",
     ),
+    "profile": (
+        1,
+        "run one experiment kind under the engine profiler: hot-spot "
+        "table + JSONL telemetry (see OBSERVABILITY.md)",
+    ),
 }
 
 EXPERIMENTS = tuple(EXPERIMENT_INFO)
@@ -112,6 +125,10 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
                        help="run every cell under the runtime invariant "
                             "checker (implies --no-cache; fails on any "
                             "violation)")
+    group.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="append one JSONL telemetry record per cell "
+                            "to DIR/runs.jsonl (implies profiling of "
+                            "simulated cells; see OBSERVABILITY.md)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -185,6 +202,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=4)
     p.add_argument("--seed", type=int, default=1)
     _add_runner_options(p)
+
+    p = sub.add_parser("profile", help=EXPERIMENT_INFO["profile"][1])
+    p.add_argument("experiment",
+                   choices=("fattree", "fig1", "fig4", "fig6", "fig7"),
+                   help="registered experiment kind to profile")
+    p.add_argument("--scheme", default="xmp",
+                   help="fattree scheme (fattree kind only)")
+    p.add_argument("--subflows", type=int, default=2)
+    p.add_argument("--pattern", default="permutation",
+                   choices=("permutation", "random", "incast"))
+    p.add_argument("--duration", type=float, default=0.1)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--top", type=int, default=12, metavar="N",
+                   help="hot-spot table rows (default 12)")
+    p.add_argument("--telemetry", default="telemetry", metavar="DIR",
+                   help="JSONL output directory (default: ./telemetry)")
     return parser
 
 
@@ -198,10 +232,17 @@ def _campaign_kwargs(args: argparse.Namespace) -> dict:
     ``--validate`` forces recomputation (cached results were produced by
     *unvalidated* runs, so replaying them would check nothing) and sets
     ``$REPRO_VALIDATE`` so worker processes validate too.
-    """
-    if getattr(args, "validate", False):
-        import os
 
+    ``--telemetry DIR`` exports ``$REPRO_TELEMETRY``: the drivers'
+    campaigns pick the sink up from the environment (no driver signature
+    carries it), and pool workers inherit the variable so their cells run
+    profiled.
+    """
+    import os
+
+    if getattr(args, "telemetry", None):
+        os.environ["REPRO_TELEMETRY"] = args.telemetry
+    if getattr(args, "validate", False):
         os.environ["REPRO_VALIDATE"] = "1"
         return {"jobs": args.jobs, "cache": None, "use_cache": False}
     if args.no_cache:
@@ -224,6 +265,10 @@ def _epilogue(args: argparse.Namespace, campaign: Optional[CampaignResult]) -> s
         )
     if args.cells:
         lines.append(campaign.format_cells())
+    if getattr(args, "telemetry", None):
+        from repro.obs.telemetry import RUNS_FILENAME
+
+        lines.append(f"[telemetry] appended to {args.telemetry}/{RUNS_FILENAME}")
     return "\n" + "\n".join(lines)
 
 
@@ -371,6 +416,49 @@ def _run_export(args) -> str:
     )
 
 
+def _run_profile(args) -> str:
+    """Run one experiment kind under the engine profiler, no cache.
+
+    Prints the per-component hot-spot table and heap health, and appends
+    the cell's telemetry record (the same JSONL document ``--telemetry``
+    produces for any experiment) under the output directory.
+    """
+    from repro.obs.telemetry import Telemetry
+
+    if args.experiment == "fattree":
+        config = FatTreeScenario(
+            scheme=args.scheme, subflows=args.subflows, pattern=args.pattern,
+            duration=args.duration, k=args.k, seed=args.seed,
+        )
+    else:
+        config = {
+            "fig1": Fig1Config,
+            "fig4": Fig4Config,
+            "fig6": Fig6Config,
+            "fig7": Fig7Config,
+        }[args.experiment]()
+    telemetry = Telemetry(args.telemetry)
+    # No cache: profiling a cache hit would measure nothing.  Campaign
+    # exports $REPRO_PROFILE for the duration, so the cell runs profiled.
+    campaign = Campaign(
+        jobs=1, cache=None, use_cache=False, telemetry=telemetry
+    ).run([RunSpec(args.experiment, config)])
+    result = campaign.results[0]
+    profile = result.metrics.profile
+    if profile is None:  # pragma: no cover - defensive; execute() profiles
+        return "profile: no profile captured"
+    lines = [f"profile: {result.spec.label()}", "", profile.format(args.top)]
+    sim_time = getattr(config, "duration", None)
+    wall = result.metrics.wall_time_s
+    if sim_time:
+        lines.append(
+            f"wall/sim: {wall:.2f}s wall for {sim_time:g}s simulated "
+            f"({wall / sim_time:.1f}x real time)"
+        )
+    lines.append(f"[telemetry] appended to {telemetry.path}")
+    return "\n".join(lines)
+
+
 def _run_validate(args) -> str:
     from repro.validate.scenarios import run_golden_suite
 
@@ -395,6 +483,7 @@ _RUNNERS = {
     "utilization": _run_utilization,
     "export": _run_export,
     "validate": _run_validate,
+    "profile": _run_profile,
 }
 
 

@@ -5,7 +5,8 @@ Simulation time is ``Simulator.now`` and nothing else.  A single
 which destroys replay and invalidates every timing-sensitive claim
 (ECN marking vs. RTT, Fig. 10's RTT distributions).  Wall-clock reads
 are legitimate only where we *measure ourselves*: the campaign runner's
-per-cell timing and the benchmark harness.
+per-cell timing, the engine profiler (which hands the simulator a clock
+rather than letting repro.sim read one), and the benchmark harness.
 """
 
 from __future__ import annotations
@@ -44,8 +45,12 @@ class WallClockRule(Rule):
         "Simulator.now only (runner cell timing is the one allowed reader)"
     )
     node_types = (ast.Call, ast.ImportFrom)
-    #: The runner's choke point times every cell for the [runner] summary.
-    allowed_path_suffixes = ("repro/runner/registry.py",)
+    #: The runner's choke point times every cell for the [runner]
+    #: summary; the profiler times callbacks on the engine's behalf.
+    allowed_path_suffixes = (
+        "repro/runner/registry.py",
+        "repro/obs/profiler.py",
+    )
     #: Benchmarks measure wall time on purpose; tests may time themselves.
     excluded_path_parts = ("benchmarks/", "tests/")
 

@@ -4,6 +4,13 @@ Each sampler schedules itself every ``interval`` seconds and appends to
 plain Python lists, so post-processing is ordinary list work.  Samplers
 stop sampling automatically when the simulator's event heap drains (their
 own events keep the heap alive only until ``until`` if given).
+
+Sampling ticks run at :data:`SAMPLE_PRIORITY`, *after* every transport
+and network event scheduled for the same instant: a sampler must observe
+the settled end-of-instant state, never the middle of an ACK burst that
+happens to share its timestamp (samples would otherwise race transport
+events on the insertion-order tiebreak and could read mid-update
+counters).
 """
 
 from __future__ import annotations
@@ -14,6 +21,11 @@ from repro.net.link import Link
 from repro.net.packet import MSS_BYTES
 from repro.sim.engine import Simulator
 from repro.transport.tcp import TcpSender
+
+#: Event priority for sampling ticks.  Model events use the default
+#: priority 0; anything larger fires after them at the same instant.
+#: The gap leaves room for future between-model-and-sampler layers.
+SAMPLE_PRIORITY = 1_000_000
 
 
 class PeriodicSampler:
@@ -31,19 +43,24 @@ class PeriodicSampler:
 
     def start(self, delay: float = 0.0) -> None:
         """Begin sampling ``delay`` seconds from now."""
-        self.sim.schedule(delay, self._tick)
+        self.sim.schedule(delay, self._tick, priority=SAMPLE_PRIORITY)
 
     def stop(self) -> None:
-        """Stop after the current tick."""
+        """Stop after the current tick.
+
+        The already-scheduled tick still fires and takes its sample (so a
+        window closed by ``stop()`` keeps its final data point); it just
+        doesn't reschedule.
+        """
         self._stopped = True
 
     def _tick(self) -> None:
-        if self._stopped:
-            return
         if self.until is not None and self.sim.now > self.until:
             return
         self.sample()
-        self.sim.schedule(self.interval, self._tick)
+        if self._stopped:
+            return
+        self.sim.schedule(self.interval, self._tick, priority=SAMPLE_PRIORITY)
 
     def sample(self) -> None:
         raise NotImplementedError
@@ -165,4 +182,10 @@ class RttSampler(PeriodicSampler):
                     self.samples[group].append(srtt)
 
 
-__all__ = ["PeriodicSampler", "RateSampler", "QueueMonitor", "RttSampler"]
+__all__ = [
+    "SAMPLE_PRIORITY",
+    "PeriodicSampler",
+    "RateSampler",
+    "QueueMonitor",
+    "RttSampler",
+]

@@ -14,6 +14,7 @@ from repro.net.link import Link
 from repro.net.node import Host, Node, Switch
 from repro.net.queue import DropTailQueue
 from repro.net.routing import Path, enumerate_paths
+from repro.obs.hooks import active_profiler
 from repro.sim.engine import Simulator
 from repro.validate.hooks import active_validator
 
@@ -35,6 +36,9 @@ class Network:
         validator = active_validator()
         if validator is not None:
             validator.watch_sim(self.sim)
+        profiler = active_profiler()
+        if profiler is not None:
+            profiler.attach(self.sim)
 
     # ------------------------------------------------------------------
     # Construction

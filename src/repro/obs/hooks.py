@@ -1,0 +1,120 @@
+"""The active-profiler registry: how engine profiling gets switched on.
+
+Mirrors :mod:`repro.validate.hooks` exactly, and for the same reason: this
+module is dependency-free (it imports nothing from the rest of
+:mod:`repro`) so the lowest layers — :mod:`repro.net`, :mod:`repro.sim` —
+can consult it at *object construction time* without import cycles.
+
+The contract with the hot paths is the one :mod:`repro.validate`
+established:
+
+* when no profiler is active, :class:`~repro.sim.engine.Simulator`
+  instances keep their ``profiler`` slot ``None`` and the event loop pays
+  a single aliased ``is None`` branch per event (acceptance bound: <3% on
+  ``benchmarks/test_perf_engine``);
+* when a profiler is active (via :func:`activate`, the :func:`profiling`
+  context manager, or the ``$REPRO_PROFILE`` / ``$REPRO_TELEMETRY``
+  environment variables consulted by the campaign runner), newly
+  constructed :class:`~repro.net.network.Network` objects attach their
+  simulator to it, and every fired event is bucketed by callback with its
+  wall-time.
+
+Activation nests: :func:`active_profiler` returns the innermost profiler,
+so an experiment executed *inside* a profiled test gets its own fresh
+profiler without disturbing the outer one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker, types only
+    from repro.obs.profiler import Profiler
+
+_ENV_PROFILE = "REPRO_PROFILE"
+_ENV_TELEMETRY = "REPRO_TELEMETRY"
+
+#: Stack of active profilers; the top one receives new simulators.
+_ACTIVE: List["Profiler"] = []
+
+
+def activate(profiler: "Profiler") -> None:
+    """Push ``profiler``: simulators constructed from now on attach to it."""
+    _ACTIVE.append(profiler)
+
+
+def deactivate(profiler: Optional["Profiler"] = None) -> None:
+    """Pop the innermost profiler (must match ``profiler`` when given)."""
+    if not _ACTIVE:
+        raise RuntimeError("no profiler is active")
+    top = _ACTIVE.pop()
+    if profiler is not None and top is not profiler:
+        _ACTIVE.append(top)
+        raise RuntimeError("deactivate() out of order: not the innermost profiler")
+
+
+def active_profiler() -> Optional["Profiler"]:
+    """The innermost active profiler, or ``None`` (the common case)."""
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    return None
+
+
+def telemetry_dir() -> Optional[str]:
+    """``$REPRO_TELEMETRY`` when set to a non-empty value, else ``None``.
+
+    This is how the CLI's ``--telemetry DIR`` reaches campaign worker
+    processes (children inherit the environment), and how a bare library
+    caller opts a whole process into telemetry without touching every
+    :class:`~repro.runner.campaign.Campaign` construction site.
+    """
+    value = os.environ.get(_ENV_TELEMETRY, "")
+    return value or None
+
+
+def profiling_requested() -> bool:
+    """Whether runs should profile themselves.
+
+    True when a profiler is explicitly active in this process, when
+    ``$REPRO_PROFILE`` is set to a non-empty value other than ``0``, or
+    when telemetry is requested (telemetry records embed the profile's
+    per-component tables, so telemetry implies profiling).
+    """
+    if _ACTIVE:
+        return True
+    if os.environ.get(_ENV_PROFILE, "") not in ("", "0"):
+        return True
+    return telemetry_dir() is not None
+
+
+@contextlib.contextmanager
+def profiling(profiler: Optional["Profiler"] = None) -> Iterator["Profiler"]:
+    """Run a block with an active profiler.
+
+    Usage::
+
+        with profiling() as prof:
+            run_fig1(Fig1Config())
+        print(prof.snapshot().format())
+    """
+    if profiler is None:
+        from repro.obs.profiler import Profiler
+
+        profiler = Profiler()
+    activate(profiler)
+    try:
+        yield profiler
+    finally:
+        deactivate(profiler)
+
+
+__all__ = [
+    "activate",
+    "deactivate",
+    "active_profiler",
+    "profiling_requested",
+    "profiling",
+    "telemetry_dir",
+]

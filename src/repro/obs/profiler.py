@@ -1,0 +1,227 @@
+"""The engine profiler: where simulation wall-time goes, by component.
+
+A :class:`Profiler` is an opt-in observer on
+:class:`~repro.sim.engine.Simulator` (the ``sim.profiler`` slot).  While
+attached it buckets every fired event — count and cumulative callback
+wall-time — under a *component* key derived from the callback's
+``__module__``/``__qualname__`` (``net.link.Link._finish_transmission``,
+``transport.tcp.TcpSender._on_ack``, ...), and tracks heap health:
+pushes, pops, compactions and peak heap size.
+
+The zero-cost-when-disabled contract matches :mod:`repro.validate`: an
+unprofiled simulator pays one aliased ``is None`` branch per event in the
+loop and one per ``schedule()`` — nothing else.  The engine itself never
+reads a host clock; it calls the :attr:`Profiler.clock` the profiler
+hands it, so the wall-clock read lives here (the one module besides the
+runner's cell timer that simlint's SIM002 allowlists).
+
+Wall-times are obviously host-dependent; everything else in a
+:class:`ProfileSnapshot` — per-component event counts, heap counters — is
+deterministic for a given spec, which is what the telemetry determinism
+tests pin (see :func:`repro.obs.records.deterministic_view`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+#: Strip this prefix from callback modules: every component is ours.
+_PACKAGE_PREFIX = "repro."
+
+
+def component_of(callback: Callable[..., Any]) -> str:
+    """The profiling bucket for a callback: ``module.Qualified.name``.
+
+    Bound methods of the same class share one bucket (the function
+    object, not the instance, is what identifies a component).
+    """
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is None:
+        qualname = type(callback).__name__
+    module = getattr(callback, "__module__", "") or ""
+    if module.startswith(_PACKAGE_PREFIX):
+        module = module[len(_PACKAGE_PREFIX):]
+    return f"{module}.{qualname}" if module else qualname
+
+
+@dataclass(frozen=True)
+class ComponentStat:
+    """One profiling bucket: events fired and cumulative callback time."""
+
+    component: str
+    events: int
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class HeapStats:
+    """Heap-health counters over the profiled window."""
+
+    pushes: int
+    pops: int
+    compactions: int
+    peak_size: int
+
+
+@dataclass(frozen=True)
+class ProfileSnapshot:
+    """An immutable, picklable view of a :class:`Profiler`'s counters.
+
+    ``components`` is sorted by component name so two snapshots of the
+    same deterministic run compare equal field-for-field except in the
+    ``wall_s`` columns.
+    """
+
+    components: Tuple[ComponentStat, ...]
+    heap: HeapStats
+    events: int
+    callback_wall_s: float
+
+    def hotspots(self, limit: int = 10) -> List[ComponentStat]:
+        """The costliest components by cumulative callback wall-time."""
+        ranked = sorted(
+            self.components, key=lambda c: (-c.wall_s, -c.events, c.component)
+        )
+        return ranked[:limit]
+
+    def as_dict(self) -> dict:
+        """A JSON-ready view (the telemetry record's ``profile`` field)."""
+        return {
+            "events": self.events,
+            "callback_wall_s": self.callback_wall_s,
+            "components": [
+                {"component": c.component, "events": c.events, "wall_s": c.wall_s}
+                for c in self.components
+            ],
+            "hotspots": [
+                {"component": c.component, "events": c.events, "wall_s": c.wall_s}
+                for c in self.hotspots()
+            ],
+            "heap": {
+                "pushes": self.heap.pushes,
+                "pops": self.heap.pops,
+                "compactions": self.heap.compactions,
+                "peak_size": self.heap.peak_size,
+            },
+        }
+
+    def format(self, limit: int = 10) -> str:
+        """A text hot-spot table for the ``profile`` CLI subcommand."""
+        lines = [
+            f"{'component':<52} {'events':>10} {'wall (ms)':>10} {'%time':>6}"
+        ]
+        total = self.callback_wall_s
+        for stat in self.hotspots(limit):
+            share = 100.0 * stat.wall_s / total if total > 0 else 0.0
+            lines.append(
+                f"{stat.component:<52} {stat.events:>10,} "
+                f"{stat.wall_s * 1e3:>10.2f} {share:>5.1f}%"
+            )
+        heap = self.heap
+        lines.append(
+            f"{len(self.components)} components, {self.events:,} events, "
+            f"{total * 1e3:.2f} ms in callbacks"
+        )
+        lines.append(
+            f"heap: {heap.pushes:,} pushes, {heap.pops:,} pops, "
+            f"{heap.compactions} compactions, peak size {heap.peak_size:,}"
+        )
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Buckets fired events and callback wall-time by component.
+
+    Attach with :meth:`attach` (or construct objects under
+    :func:`repro.obs.hooks.profiling` and let
+    :class:`~repro.net.network.Network` attach its simulator for you),
+    run the simulation, then :meth:`snapshot`.
+    """
+
+    #: The host clock the engine's timed dispatch uses.  Living here —
+    #: not in the engine — keeps SIM002's "no wall clocks in simulation
+    #: code" guarantee intact for repro.sim.
+    clock = staticmethod(time.perf_counter)
+
+    def __init__(self) -> None:
+        #: component name -> [events, cumulative seconds]; mutated on the
+        #: hot path, so plain lists instead of dataclasses.
+        self._buckets: Dict[str, List[Any]] = {}
+        #: function object -> component name memo (avoids re-deriving
+        #: strings for every fired event).
+        self._names: Dict[Any, str] = {}
+        self._sims: List[Any] = []
+        self.pushes = 0
+        self.pops = 0
+        self.peak_size = 0
+
+    # -- attachment ----------------------------------------------------
+
+    def attach(self, sim: Any) -> None:
+        """Start profiling ``sim`` (its ``profiler`` slot points here)."""
+        sim.profiler = self
+        self._sims.append(sim)
+
+    def detach(self, sim: Any) -> None:
+        """Stop profiling ``sim``; its counters stay in this profiler."""
+        if sim.profiler is self:
+            sim.profiler = None
+
+    # -- engine callbacks (hot path) -----------------------------------
+
+    def on_push(self, heap_size: int) -> None:
+        """One ``schedule()``; ``heap_size`` is the heap after the push."""
+        self.pushes += 1
+        if heap_size > self.peak_size:
+            self.peak_size = heap_size
+
+    def on_fire(self, callback: Callable[..., Any], elapsed: float) -> None:
+        """One fired event: ``elapsed`` seconds spent in ``callback``."""
+        self.pops += 1
+        func = getattr(callback, "__func__", callback)
+        name = self._names.get(func)
+        if name is None:
+            name = component_of(callback)
+            self._names[func] = name
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            self._buckets[name] = [1, elapsed]
+        else:
+            bucket[0] += 1
+            bucket[1] += elapsed
+
+    def on_discard(self) -> None:
+        """One cancelled event popped (and skipped) by the loop."""
+        self.pops += 1
+
+    # -- results -------------------------------------------------------
+
+    def snapshot(self) -> ProfileSnapshot:
+        """Freeze the counters into a :class:`ProfileSnapshot`."""
+        components = tuple(
+            ComponentStat(name, bucket[0], bucket[1])
+            for name, bucket in sorted(self._buckets.items())
+        )
+        heap = HeapStats(
+            pushes=self.pushes,
+            pops=self.pops,
+            compactions=sum(sim.compactions for sim in self._sims),
+            peak_size=self.peak_size,
+        )
+        return ProfileSnapshot(
+            components=components,
+            heap=heap,
+            events=sum(c.events for c in components),
+            callback_wall_s=sum(c.wall_s for c in components),
+        )
+
+
+__all__ = [
+    "ComponentStat",
+    "HeapStats",
+    "ProfileSnapshot",
+    "Profiler",
+    "component_of",
+]

@@ -27,6 +27,7 @@ Quick use::
 """
 
 from repro.runner.cache import (
+    MISS,
     DiskCache,
     MemoryCache,
     RunCache,
@@ -50,6 +51,7 @@ __all__ = [
     "CampaignResult",
     "CellMetrics",
     "DiskCache",
+    "MISS",
     "MemoryCache",
     "RunCache",
     "RunResult",

@@ -15,7 +15,10 @@ Robustness rules:
 * writes go through a temp file + :func:`os.replace`, so a concurrent
   reader can never observe a partial pickle;
 * the memory tier is a bounded LRU (the seed's unbounded
-  ``fattree_eval._CACHE`` dict is gone).
+  ``fattree_eval._CACHE`` dict is gone);
+* a miss is signalled by the :data:`MISS` sentinel, never by ``None`` —
+  ``None`` is a legitimate cacheable result value, and conflating the
+  two silently re-ran such specs forever.
 """
 
 from __future__ import annotations
@@ -32,10 +35,26 @@ from typing import Any, Optional, Tuple
 from repro import __version__
 from repro.runner.spec import SOURCE_DISK, SOURCE_MEMORY, RunSpec
 
-#: Bump when the pickled result layout changes incompatibly.
-CACHE_SCHEMA = 1
+#: Bump when the pickled result layout changes incompatibly.  2: the
+#: fingerprint's dict-key ordering changed to (type-name, repr) so
+#: mixed-type keys hash instead of raising TypeError.
+CACHE_SCHEMA = 2
 
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+class _Miss:
+    """The cache-miss sentinel's type; :data:`MISS` is its only instance."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "MISS"
+
+
+#: Returned by :meth:`MemoryCache.get` / :meth:`DiskCache.get` /
+#: :meth:`RunCache.lookup` when nothing is cached.  Compare with ``is``.
+MISS = _Miss()
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -59,7 +78,16 @@ def _stable(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return tuple(_stable(item) for item in value)
     if isinstance(value, dict):
-        return tuple(sorted((key, _stable(item)) for key, item in value.items()))
+        # Sort by (type-name, repr): raw keys of mixed types (1 vs "1")
+        # are not mutually orderable and would raise TypeError mid-
+        # campaign; type-name-first also keeps 1 and True distinct.
+        return tuple(
+            (key, _stable(item))
+            for key, item in sorted(
+                value.items(),
+                key=lambda kv: (type(kv[0]).__name__, repr(kv[0])),
+            )
+        )
     return value
 
 
@@ -79,11 +107,16 @@ class MemoryCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, spec: RunSpec) -> Optional[Any]:
+    def get(self, spec: RunSpec) -> Any:
+        """The cached value, or :data:`MISS`.
+
+        ``None`` is a valid cached value (a run function may legitimately
+        return it); only the sentinel means "not cached".
+        """
         try:
             value = self._entries[spec]
         except KeyError:
-            return None
+            return MISS
         self._entries.move_to_end(spec)
         return value
 
@@ -106,13 +139,14 @@ class DiskCache:
     def path_for(self, key: str) -> pathlib.Path:
         return self.directory / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[Any]:
+    def get(self, key: str) -> Any:
+        """The unpickled value, or :data:`MISS` (``None`` is a value)."""
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
         except FileNotFoundError:
-            return None
+            return MISS
         except Exception:
             # Corrupted / truncated / unreadable entry: treat as a miss
             # and drop the bad file so the rewrite heals it.
@@ -120,7 +154,7 @@ class DiskCache:
                 path.unlink()
             except OSError:
                 pass
-            return None
+            return MISS
 
     def put(self, key: str, value: Any) -> None:
         path = self.path_for(key)
@@ -169,13 +203,17 @@ class RunCache:
         self.disk = disk
 
     def lookup(self, spec: RunSpec) -> Optional[Tuple[Any, str]]:
-        """The cached value and the tier it came from, or ``None``."""
+        """The cached value and the tier it came from, or ``None``.
+
+        The tiers signal misses with :data:`MISS`, so a cached ``None``
+        result is a hit here like any other value.
+        """
         value = self.memory.get(spec)
-        if value is not None:
+        if value is not MISS:
             return value, SOURCE_MEMORY
         if self.disk is not None:
             value = self.disk.get(spec_fingerprint(spec))
-            if value is not None:
+            if value is not MISS:
                 self.memory.put(spec, value)
                 return value, SOURCE_DISK
         return None
@@ -219,6 +257,7 @@ def reset_default_cache() -> None:
 
 __all__ = [
     "CACHE_SCHEMA",
+    "MISS",
     "MemoryCache",
     "DiskCache",
     "RunCache",

@@ -19,6 +19,7 @@ campaign; concurrent campaigns stay safe through atomic replace).
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional
@@ -105,6 +106,11 @@ class Campaign:
             process-wide :func:`default_cache`.
         use_cache: ``False`` disables lookup *and* store (the CLI's
             ``--no-cache``).
+        telemetry: a :class:`~repro.obs.telemetry.Telemetry` sink that
+            receives one JSONL record per cell after the merge; defaults
+            to the ``$REPRO_TELEMETRY`` directory when that is set (the
+            CLI's ``--telemetry``), else off.  Like the disk cache, the
+            parent process is the single writer.
     """
 
     def __init__(
@@ -112,12 +118,33 @@ class Campaign:
         jobs: int = 1,
         cache: Optional[RunCache] = None,
         use_cache: bool = True,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.use_cache = use_cache
         self.cache = (cache if cache is not None else default_cache()) if use_cache else None
+        if telemetry is None:
+            from repro.obs.telemetry import from_environment
+
+            telemetry = from_environment()
+        self.telemetry = telemetry
 
     def run(self, specs: Iterable[RunSpec]) -> CampaignResult:
+        # Telemetry records embed engine profiles, so the cells that miss
+        # the cache must run profiled — in-process and in pool workers
+        # alike.  Exporting $REPRO_PROFILE before the pool is created
+        # covers both (children inherit the environment at creation).
+        profile_exported = False
+        if self.telemetry is not None and not os.environ.get("REPRO_PROFILE"):
+            os.environ["REPRO_PROFILE"] = "1"
+            profile_exported = True
+        try:
+            return self._run(specs)
+        finally:
+            if profile_exported:
+                del os.environ["REPRO_PROFILE"]
+
+    def _run(self, specs: Iterable[RunSpec]) -> CampaignResult:
         spec_list = list(specs)
         results: List[Optional[RunResult]] = [None] * len(spec_list)
         misses: List[int] = []
@@ -157,7 +184,10 @@ class Campaign:
                     self.cache.store(result.spec, result.value)
 
         assert all(result is not None for result in results)
-        return CampaignResult(results=list(results))  # type: ignore[arg-type]
+        outcome = CampaignResult(results=list(results))  # type: ignore[arg-type]
+        if self.telemetry is not None:
+            self.telemetry.record_results(outcome.results)
+        return outcome
 
 
 def run_spec(

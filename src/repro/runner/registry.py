@@ -77,33 +77,52 @@ def execute(spec: RunSpec) -> RunResult:
     under a fresh :class:`~repro.validate.invariants.Validator` and
     raises :class:`~repro.validate.invariants.InvariantError` on any
     violation, naming the cell.
+
+    When profiling is requested (a profiler is active in-process, or
+    ``$REPRO_PROFILE`` / ``$REPRO_TELEMETRY`` is set — the CLI's
+    ``--telemetry`` flag, likewise inherited by workers), the run
+    executes under a fresh :class:`~repro.obs.profiler.Profiler` and its
+    snapshot lands in ``metrics.profile``.  Profiling observes only; the
+    result value is byte-identical with and without it.
     """
+    from repro.obs import hooks as obs_hooks
     from repro.validate.hooks import validation_requested
 
     run = kind_entry(spec.kind).resolve()
     checks = 0
-    started = time.perf_counter()
-    if validation_requested():
-        from repro.validate.hooks import activate, deactivate
-        from repro.validate.invariants import Validator
+    profiler = None
+    if obs_hooks.profiling_requested():
+        from repro.obs.profiler import Profiler
 
-        validator = Validator()
-        activate(validator)
-        try:
+        profiler = Profiler()
+        obs_hooks.activate(profiler)
+    started = time.perf_counter()
+    try:
+        if validation_requested():
+            from repro.validate.hooks import activate, deactivate
+            from repro.validate.invariants import Validator
+
+            validator = Validator()
+            activate(validator)
+            try:
+                value = run(spec.config)
+            finally:
+                deactivate(validator)
+            validator.finish()
+            validator.raise_if_violations(context=spec.label())
+            checks = validator.checks
+        else:
             value = run(spec.config)
-        finally:
-            deactivate(validator)
-        validator.finish()
-        validator.raise_if_violations(context=spec.label())
-        checks = validator.checks
-    else:
-        value = run(spec.config)
+    finally:
+        if profiler is not None:
+            obs_hooks.deactivate(profiler)
     wall = time.perf_counter() - started
     metrics = CellMetrics(
         wall_time_s=wall,
         events=events_of(spec, value),
         source=SOURCE_RUN,
         invariant_checks=checks,
+        profile=profiler.snapshot() if profiler is not None else None,
     )
     return RunResult(spec=spec, value=value, metrics=metrics)
 

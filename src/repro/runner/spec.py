@@ -63,6 +63,12 @@ class CellMetrics:
     #: Invariant checks performed while computing this cell (0 when the
     #: run was not validated, or when the result came from a cache).
     invariant_checks: int = 0
+    #: Engine profile of this cell's run — a
+    #: :class:`~repro.obs.profiler.ProfileSnapshot` when the cell was
+    #: simulated under profiling (``--telemetry`` / ``$REPRO_PROFILE``),
+    #: else ``None`` (unprofiled runs and cache hits alike).  Picklable,
+    #: so pool workers' profiles ride home inside the RunResult.
+    profile: Any = None
 
     @property
     def cached(self) -> bool:

@@ -1,5 +1,7 @@
 """Tests for the experiment CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -37,6 +39,20 @@ class TestParser:
             ["table1", "--patterns", "permutation"]
         )
         assert args.patterns == ["permutation"]
+
+    def test_telemetry_flag_on_every_experiment(self):
+        args = build_parser().parse_args(["table1", "--telemetry", "t/"])
+        assert args.telemetry == "t/"
+        assert build_parser().parse_args(["fig1"]).telemetry is None
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "fattree"])
+        assert args.experiment == "fattree"
+        assert args.scheme == "xmp"
+        assert args.top == 12
+        assert args.telemetry == "telemetry"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "table1"])
 
 
 class TestExecution:
@@ -77,3 +93,38 @@ class TestExecution:
     def test_utilization(self, capsys):
         assert main(["utilization", "--duration", "0.05"]) == 0
         assert "utilization by layer" in capsys.readouterr().out
+
+    def test_profile(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        out_dir = tmp_path / "telem"
+        assert main([
+            "profile", "fattree", "--duration", "0.02",
+            "--telemetry", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile: fattree/XMP-2/permutation" in out
+        assert "events" in out and "heap:" in out
+        assert "x real time" in out
+        lines = (out_dir / "runs.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "fattree"
+        assert record["profile"]["hotspots"]
+
+    def test_experiment_with_telemetry(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        # --telemetry exports $REPRO_TELEMETRY (like --validate's
+        # $REPRO_VALIDATE); setenv first so teardown restores this state.
+        monkeypatch.setenv("REPRO_TELEMETRY", "")
+        out_dir = tmp_path / "telem"
+        assert main([
+            "fig4", "--time-scale", "0.02", "--no-cache",
+            "--telemetry", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[telemetry] appended to" in out
+        [record] = [json.loads(line) for line in
+                    (out_dir / "runs.jsonl").read_text().splitlines()]
+        assert record["kind"] == "fig4"
+        assert record["profile"] is not None

@@ -2,10 +2,66 @@
 
 import pytest
 
-from repro.metrics.collector import QueueMonitor, RateSampler, RttSampler
+from repro.metrics.collector import (
+    SAMPLE_PRIORITY,
+    PeriodicSampler,
+    QueueMonitor,
+    RateSampler,
+    RttSampler,
+)
 from repro.metrics.utilization import link_utilizations, utilization_by_layer
 from repro.mptcp.connection import MptcpConnection
 from repro.net.packet import MSS_BYTES
+
+
+class TestSamplePriority:
+    """Regression: samplers must fire *after* model events at an instant.
+
+    Ticks used to run at the default priority 0, so whether a sample at
+    time t saw the effects of a model event at time t depended on the
+    insertion-order tiebreak — a race on scheduling order.
+    """
+
+    def test_tick_observes_post_event_state(self, sim):
+        seen = []
+        state = {"counter": 0}
+
+        class CounterSampler(PeriodicSampler):
+            def sample(self):
+                seen.append(state["counter"])
+
+        sampler = CounterSampler(sim, interval=0.01, until=0.05)
+        sampler.start()  # the t=0 tick enters the heap first...
+
+        def bump():
+            state["counter"] += 1
+
+        # ...and these model events (priority 0) are scheduled *after*
+        # it for the same instants.  Under the old insertion-order race
+        # the t=0 sample would read 0; fire-last priority guarantees
+        # every sample sees the settled end-of-instant state.
+        for i in range(6):
+            sim.schedule(i * 0.01, bump)
+        sim.run()
+        assert seen[0] == 1
+        assert seen == [1, 2, 3, 4, 5, 6]
+
+    def test_ticks_scheduled_at_sample_priority(self, sim):
+        monitor = QueueMonitor(sim, [], interval=0.01)
+        monitor.start()
+        assert sim._heap[0][1] == SAMPLE_PRIORITY
+
+    def test_stop_keeps_the_pending_sample(self, sim):
+        """``stop()`` promises "after the current tick": the already-
+        scheduled tick still takes its sample, then doesn't reschedule.
+        The old ``_tick`` checked the flag *before* sampling and dropped
+        the window's final data point.
+        """
+        monitor = QueueMonitor(sim, [], interval=0.01)
+        monitor.start()
+        sim.schedule(0.03, monitor.stop)
+        sim.run(until=0.2)
+        assert monitor.times == pytest.approx([0.0, 0.01, 0.02, 0.03])
 
 
 class TestRateSampler:

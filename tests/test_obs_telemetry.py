@@ -1,0 +1,210 @@
+"""Telemetry tests (repro.obs): the JSONL sink, the record schema, the
+drain helpers, and the determinism contract — records identical across
+``--jobs 1`` / ``--jobs 4`` and cache hit / miss modulo the wall-clock
+and provenance fields, and profiling never changing simulation output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.fattree_eval import FatTreeScenario
+from repro.metrics.collector import QueueMonitor, RateSampler, RttSampler
+from repro.mptcp.connection import MptcpConnection
+from repro.obs.records import (
+    TELEMETRY_SCHEMA,
+    deterministic_view,
+    drain_link,
+    drain_queue,
+    drain_sampler,
+    drain_sender,
+    to_jsonl,
+)
+from repro.obs.telemetry import Telemetry, from_environment
+from repro.runner import Campaign, MemoryCache, RunCache, RunSpec
+from repro.runner.spec import SOURCE_MEMORY, SOURCE_RUN
+
+TINY = FatTreeScenario(
+    duration=0.02,
+    perm_size_min=50_000,
+    perm_size_max=150_000,
+    random_mean=100_000,
+    random_max=300_000,
+    seed=11,
+)
+
+
+def grid():
+    return [
+        RunSpec("fattree", dataclasses.replace(TINY, scheme=scheme,
+                                               subflows=subflows))
+        for scheme, subflows in (("dctcp", 1), ("xmp", 2))
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_env(monkeypatch):
+    """Telemetry/profiling must be off unless a test turns it on."""
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+
+
+class TestTelemetrySink:
+    def test_writes_valid_jsonl(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "telem")
+        specs = grid()
+        Campaign(jobs=1, use_cache=False, telemetry=telemetry).run(specs)
+        assert telemetry.path.exists()
+        lines = telemetry.path.read_text().splitlines()
+        assert len(lines) == len(specs)
+        for line, spec in zip(lines, specs):
+            record = json.loads(line)
+            assert record["schema"] == TELEMETRY_SCHEMA
+            assert record["kind"] == "fattree"
+            assert record["label"] == spec.label()
+            assert len(record["fingerprint"]) == 64
+            assert record["source"] == SOURCE_RUN
+            assert record["cached"] is False
+            assert record["events"] > 0
+            assert record["sim_time_s"] == pytest.approx(0.02)
+            assert record["wall_time_s"] > 0
+            assert record["wall_sim_ratio"] > 0
+            # A miss runs profiled under telemetry: the profile is there
+            # and its event total matches the engine's.
+            profile = record["profile"]
+            assert profile is not None
+            assert profile["events"] == record["events"]
+            assert profile["hotspots"]
+            assert profile["heap"]["pushes"] >= profile["heap"]["pops"] > 0
+
+    def test_appends_across_campaigns(self, tmp_path):
+        telemetry = Telemetry(tmp_path)
+        spec = grid()[:1]
+        Campaign(jobs=1, use_cache=False, telemetry=telemetry).run(spec)
+        Campaign(jobs=1, use_cache=False, telemetry=telemetry).run(spec)
+        assert len(telemetry.read_records()) == 2
+
+    def test_empty_batch_writes_nothing(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "never")
+        assert telemetry.record_results([]) == []
+        assert not telemetry.path.exists()
+        assert telemetry.read_records() == []
+
+    def test_from_environment(self, tmp_path, monkeypatch):
+        assert from_environment() is None
+        monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "t"))
+        telemetry = from_environment()
+        assert telemetry is not None
+        assert telemetry.path == tmp_path / "t" / "runs.jsonl"
+        # Campaigns pick the sink up without being handed one.
+        assert Campaign(jobs=1, use_cache=False).telemetry is not None
+
+    def test_jsonl_is_sorted_and_compact(self):
+        text = to_jsonl([{"b": 1, "a": [2, None]}])
+        assert text == '{"a":[2,null],"b":1}\n'
+
+
+class TestDeterminism:
+    def test_jobs1_equals_jobs4(self, tmp_path):
+        """ISSUE contract: records identical across --jobs 1 / --jobs 4
+        modulo wall-clock fields."""
+        specs = grid()
+        serial = Telemetry(tmp_path / "serial")
+        fanned = Telemetry(tmp_path / "fanned")
+        Campaign(jobs=1, use_cache=False, telemetry=serial).run(specs)
+        Campaign(jobs=4, use_cache=False, telemetry=fanned).run(specs)
+        serial_views = [deterministic_view(r) for r in serial.read_records()]
+        fanned_views = [deterministic_view(r) for r in fanned.read_records()]
+        assert serial_views == fanned_views
+        # The stripped profile still pins per-component event counts.
+        assert serial_views[0]["profile"]["components"]
+
+    def test_cache_hit_equals_miss(self, tmp_path):
+        """Hit and miss records agree on everything the spec determines.
+
+        The hit's ``profile`` is null (nothing executed), so the
+        comparison uses ``keep_profile=False``; provenance fields are the
+        other intended difference and are stripped by the view.
+        """
+        spec = grid()[:1]
+        cache = RunCache(memory=MemoryCache())
+        cold = Telemetry(tmp_path / "cold")
+        warm = Telemetry(tmp_path / "warm")
+        Campaign(jobs=1, cache=cache, telemetry=cold).run(spec)
+        Campaign(jobs=1, cache=cache, telemetry=warm).run(spec)
+        [miss] = cold.read_records()
+        [hit] = warm.read_records()
+        assert miss["source"] == SOURCE_RUN and not miss["cached"]
+        assert hit["source"] == SOURCE_MEMORY and hit["cached"]
+        assert miss["profile"] is not None
+        assert hit["profile"] is None
+        assert hit["wall_sim_ratio"] is None
+        assert deterministic_view(hit, keep_profile=False) == deterministic_view(
+            miss, keep_profile=False
+        )
+
+    def test_profiling_does_not_change_results(self, monkeypatch):
+        """Byte-identical experiment output with profiling on vs off."""
+        specs = grid()
+        plain = Campaign(jobs=1, use_cache=False).run(specs)
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        profiled = Campaign(jobs=1, use_cache=False).run(specs)
+        for off, on in zip(plain.results, profiled.results):
+            assert off.metrics.profile is None
+            assert on.metrics.profile is not None
+            assert off.value == on.value
+            assert off.metrics.events == on.metrics.events
+
+
+class TestDrainHelpers:
+    @pytest.fixture
+    def ran_net(self, two_host_net):
+        net = two_host_net
+        conn = MptcpConnection(net, "A", "B", net.paths("A", "B"),
+                               scheme="xmp")
+        rates = RateSampler(net.sim, {"f": conn.subflows[0].sender},
+                            interval=0.005, until=0.03)
+        queues = QueueMonitor(net.sim, net.links, interval=0.005, until=0.03)
+        rates.start(0.005)
+        queues.start(0.005)
+        conn.start()
+        net.sim.run(until=0.03)
+        return net, conn, rates, queues
+
+    def test_drain_link_and_queue(self, ran_net):
+        net, _conn, _rates, _queues = ran_net
+        link = next(link for link in net.links if link.src.name == "A")
+        record = drain_link(link)
+        assert record.name == link.name
+        assert record.enqueued >= record.dequeued > 0
+        assert record.max_occupancy >= record.occupancy >= 0
+        assert drain_queue("other-name", link.queue).name == "other-name"
+        payload = json.loads(to_jsonl([record.as_dict()]))
+        assert payload["enqueued"] == record.enqueued
+
+    def test_drain_sampler_shapes(self, ran_net, sim):
+        _net, _conn, rates, queues = ran_net
+        rate_record = drain_sampler(rates)
+        assert rate_record.kind == "RateSampler"
+        assert len(rate_record.times) == len(rate_record.series[0][1])
+        assert rate_record.series[0][0] == "f"
+        queue_record = drain_sampler(queues)
+        assert queue_record.kind == "QueueMonitor"
+        assert len(queue_record.series) == len(queues.occupancy)
+        # RttSampler has samples but no times attribute: drains empty-timed.
+        rtt_record = drain_sampler(RttSampler(sim, interval=0.01))
+        assert rtt_record.times == ()
+        with pytest.raises(TypeError, match="cannot drain"):
+            drain_sampler(object())
+
+    def test_drain_sender(self, ran_net):
+        _net, conn, _rates, _queues = ran_net
+        record = drain_sender("f", conn.subflows[0].sender)
+        assert record.delivered_segments > 0
+        assert record.cwnd > 0
+        as_dict = record.as_dict()
+        assert as_dict["name"] == "f"
+        assert json.loads(to_jsonl([as_dict]))["running"] == record.running

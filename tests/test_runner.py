@@ -16,6 +16,7 @@ import pytest
 
 from repro.experiments.fattree_eval import FatTreeScenario
 from repro.runner import (
+    MISS,
     Campaign,
     DiskCache,
     MemoryCache,
@@ -26,6 +27,7 @@ from repro.runner import (
     run_spec,
     spec_fingerprint,
 )
+from repro.runner.cache import _stable
 from repro.runner.spec import SOURCE_DISK, SOURCE_MEMORY, SOURCE_RUN
 
 #: Small enough that a four-cell grid simulates in a few seconds.
@@ -130,8 +132,48 @@ class TestCache:
         for i, spec in enumerate(specs):
             cache.put(spec, i)
         assert len(cache) == 3
-        assert cache.get(specs[0]) is None
+        assert cache.get(specs[0]) is MISS
         assert cache.get(specs[4]) == 4
+
+    def test_cached_none_is_a_hit_not_a_miss(self, tmp_path):
+        """Regression: a legitimately cached ``None`` result must hit.
+
+        The old tiers signalled misses with ``None``, so a spec whose run
+        function returned ``None`` was silently re-simulated forever.
+        """
+        spec = self.spec()
+        memory = MemoryCache()
+        memory.put(spec, None)
+        assert memory.get(spec) is None
+        assert memory.get(spec) is not MISS
+
+        disk = DiskCache(tmp_path)
+        key = spec_fingerprint(spec)
+        disk.put(key, None)
+        assert disk.get(key) is None
+        assert disk.get(key) is not MISS
+
+        # Through both RunCache tiers: memory first, then disk promote.
+        cache = RunCache(memory=memory, disk=disk)
+        assert cache.lookup(spec) == (None, SOURCE_MEMORY)
+        cache.clear_memory()
+        assert cache.lookup(spec) == (None, SOURCE_DISK)
+        # The disk hit was promoted back into the memory tier.
+        assert cache.lookup(spec) == (None, SOURCE_MEMORY)
+
+    def test_uncached_spec_still_misses(self, tmp_path):
+        cache = RunCache(memory=MemoryCache(), disk=DiskCache(tmp_path))
+        assert cache.lookup(self.spec()) is None
+
+    def test_mixed_type_dict_keys_fingerprint(self):
+        """Regression: sorting raw mixed-type keys raised TypeError."""
+        mixed = {1: "a", "b": 2, (3, 4): "c", None: 0, 1.5: "d"}
+        stable = _stable(mixed)
+        # Insertion order must not matter: keys sort by (type name, repr).
+        assert stable == _stable(dict(reversed(list(mixed.items()))))
+        # End-to-end: a spec whose config carries such a dict fingerprints.
+        fingerprint = spec_fingerprint(RunSpec("fattree", (("opts", mixed),)))
+        assert len(fingerprint) == 64
 
     def test_fingerprint_is_content_addressed(self):
         same = spec_fingerprint(RunSpec("fattree", TINY))
