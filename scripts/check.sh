@@ -1,19 +1,20 @@
 #!/usr/bin/env bash
-# Repo check: lint (ruff if installed, simlint always, mypy if installed)
-# + the tier-1 test suite, which includes the runtime-invariant /
-# golden-trace tests (-m invariants) and the simlint self-checks
-# (-m simlint).
+# Repo check: lint (ruff if installed, simlint + simsem always, mypy if
+# installed) + the tier-1 test suite, which includes the runtime-invariant /
+# golden-trace tests (-m invariants), the simlint self-checks (-m simlint)
+# and the simsem cross-module-analysis suite (-m simsem).
 #
 #   scripts/check.sh               # everything
-#   scripts/check.sh --lint        # ruff (if installed) + simlint + mypy (if installed)
-#   scripts/check.sh --simlint     # simlint only
+#   scripts/check.sh --lint        # ruff (if installed) + simlint + simsem + mypy (if installed)
+#   scripts/check.sh --simlint     # simlint only (syntactic, per file)
+#   scripts/check.sh --sem         # simsem only (cross-module semantic pass)
 #   scripts/check.sh --tests       # tests only
 #   scripts/check.sh --invariants  # invariant + golden-trace suite only
 #
 # ruff and mypy are optional: their configs live in pyproject.toml, but
-# the check degrades gracefully on machines without them.  simlint is
-# NOT optional — it is pure stdlib (repro.lint), so there is never a
-# reason to skip it.
+# the check degrades gracefully on machines without them.  simlint and
+# simsem are NOT optional — both are pure stdlib (repro.lint), so there
+# is never a reason to skip them; every lint-running mode runs both.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,19 +25,29 @@ REPRO_PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 run_lint=1
 run_tests=1
 run_simlint_only=0
+run_sem_only=0
 run_invariants_only=0
 case "${1:-}" in
     --lint) run_tests=0 ;;
     --simlint) run_tests=0; run_lint=0; run_simlint_only=1 ;;
+    --sem) run_tests=0; run_lint=0; run_sem_only=1 ;;
     --tests) run_lint=0 ;;
     --invariants) run_lint=0; run_invariants_only=1 ;;
     "") ;;
-    *) echo "usage: scripts/check.sh [--lint|--simlint|--tests|--invariants]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--lint|--simlint|--sem|--tests|--invariants]" >&2; exit 2 ;;
 esac
 
 simlint() {
     echo "== simlint (python -m repro.lint) =="
     PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint src/repro
+}
+
+simsem() {
+    # The cross-module pass; summaries cache under .simsem-cache
+    # (content-addressed — safe to persist across runs and in CI).
+    echo "== simsem (python -m repro.lint --sem, semantic pass) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint --sem \
+        --select SIM011,SIM012,SIM013,SIM014,SIM015 src/repro
 }
 
 # Compiled bytecode must never be tracked (it is machine/version
@@ -56,6 +67,10 @@ if [ "$run_simlint_only" = 1 ]; then
     simlint
 fi
 
+if [ "$run_sem_only" = 1 ]; then
+    simsem
+fi
+
 if [ "$run_lint" = 1 ]; then
     if command -v ruff > /dev/null 2>&1; then
         echo "== ruff =="
@@ -64,6 +79,7 @@ if [ "$run_lint" = 1 ]; then
         echo "== ruff not installed; skipping =="
     fi
     simlint
+    simsem
     if command -v mypy > /dev/null 2>&1; then
         echo "== mypy =="
         mypy

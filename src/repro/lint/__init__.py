@@ -8,11 +8,18 @@ code, float-time equality, raw unit literals, set-order-dependent
 scheduling, past scheduling, mutable defaults, runner bypasses,
 pickle-unsafe members and swallowed exceptions.
 
+On top of the per-file rules sits simsem (:mod:`repro.lint.sem`), the
+cross-module semantic pass: unit-dimension dataflow against a declared
+sink registry (SIM011/SIM012), seed provenance (SIM013), observer-hook
+conformance (SIM014) and event-handler reachability (SIM015).
+
 Usage::
 
     python -m repro.lint [PATH ...]      # default: src/repro
+    python -m repro.lint --sem src/repro # + the cross-module pass
     python -m repro lint -- --fix src    # via the main CLI
     pytest -m simlint                    # the self-check suite
+    pytest -m simsem                     # the semantic-pass suite
 
 Rule catalog, suppression syntax (``# simlint: disable=SIM001``) and
 ``--fix`` scope are documented in LINTING.md.  Pure stdlib by design:
@@ -29,7 +36,8 @@ from repro.lint.core import (
     Suppressions,
     iter_python_files,
 )
-from repro.lint.fixes import apply_fixes, fix_file
+from repro.lint.fixes import apply_fixes, ensure_units_imports, fix_file
+from repro.lint.registry import catalog, known_codes, syntactic_rules
 from repro.lint.rules import RULE_CLASSES, all_rules, rules_by_code
 
 __all__ = [
@@ -43,7 +51,11 @@ __all__ = [
     "Suppressions",
     "all_rules",
     "apply_fixes",
+    "catalog",
+    "ensure_units_imports",
     "fix_file",
     "iter_python_files",
+    "known_codes",
     "rules_by_code",
+    "syntactic_rules",
 ]

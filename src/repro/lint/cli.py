@@ -2,6 +2,14 @@
 
 Exit codes: 0 clean, 1 findings remain, 2 usage error.  ``--fix``
 applies the mechanically safe fixes in place and reports what is left.
+
+``--sem`` additionally runs simsem, the cross-module semantic pass
+(SIM011–SIM015, see :mod:`repro.lint.sem`): unit-dimension dataflow
+against the sink registry, seed provenance, observer-hook conformance
+and handler reachability.  Its per-file summaries are cached under
+``--sem-cache`` (content-addressed; safe to persist across runs and in
+CI), and ``--baseline`` ratchets legacy findings so new code is held to
+zero while old findings burn down.
 """
 
 from __future__ import annotations
@@ -10,17 +18,26 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.lint.core import Analyzer, Finding, Rule, iter_python_files
 from repro.lint.fixes import fix_file
-from repro.lint.rules import all_rules
+from repro.lint.registry import catalog, known_codes, syntactic_rules
+from repro.lint.sem.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.sem.cache import DEFAULT_CACHE_DIR, SummaryCache
+from repro.lint.sem.info import SEM_CODES
+from repro.lint.sem.project import ProjectAnalyzer
 
 DEFAULT_TARGET = "src/repro"
 
 
 def _parse_codes(raw: str, parser: argparse.ArgumentParser) -> List[str]:
-    known = {rule.code for rule in all_rules()}
+    known = known_codes()
     codes = [token.strip().upper() for token in raw.split(",") if token.strip()]
     for code in codes:
         if code not in known:
@@ -30,26 +47,35 @@ def _parse_codes(raw: str, parser: argparse.ArgumentParser) -> List[str]:
     return codes
 
 
-def _select_rules(
+def _selected_codes(
     args: argparse.Namespace, parser: argparse.ArgumentParser
-) -> List[Rule]:
-    rules = all_rules()
+) -> Set[str]:
+    selected = set(known_codes())
     if args.select:
-        wanted = set(_parse_codes(args.select, parser))
-        rules = [rule for rule in rules if rule.code in wanted]
+        selected = set(_parse_codes(args.select, parser))
     if args.ignore:
-        dropped = set(_parse_codes(args.ignore, parser))
-        rules = [rule for rule in rules if rule.code not in dropped]
-    if not rules:
+        selected -= set(_parse_codes(args.ignore, parser))
+    return selected
+
+
+def _select_rules(
+    selected: Set[str], run_sem: bool, parser: argparse.ArgumentParser
+) -> List[Rule]:
+    rules = [rule for rule in syntactic_rules() if rule.code in selected]
+    sem_active = run_sem and any(code in selected for code in SEM_CODES)
+    if not rules and not sem_active:
         parser.error("--select/--ignore left no rules to run")
     return rules
 
 
 def _rule_listing() -> str:
     lines = ["simlint rules (see LINTING.md for the full catalog):"]
-    for rule in all_rules():
-        lines.append(f"  {rule.code}  {rule.name:<24} [{rule.severity.value}]")
-        lines.append(f"         {rule.rationale}")
+    for entry in catalog():
+        marker = " (--sem)" if entry.kind == "semantic" else ""
+        lines.append(
+            f"  {entry.code}  {entry.name:<24} [{entry.severity.value}]{marker}"
+        )
+        lines.append(f"         {entry.rationale}")
     return "\n".join(lines)
 
 
@@ -83,6 +109,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the rule catalog and exit")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the summary line")
+    sem = parser.add_argument_group("semantic analysis (simsem)")
+    sem.add_argument("--sem", action="store_true",
+                     help="also run the cross-module semantic pass "
+                          "(SIM011-SIM015); analyze whole trees, not "
+                          "single files, for full precision")
+    sem.add_argument("--baseline", metavar="FILE",
+                     help="ratchet file: suppress up to the baselined "
+                          "count of semantic findings per (path, code)")
+    sem.add_argument("--write-baseline", metavar="FILE",
+                     help="write the current semantic findings as the "
+                          "new baseline and exit 0")
+    sem.add_argument("--sem-cache", metavar="DIR", default=DEFAULT_CACHE_DIR,
+                     help="summary cache directory "
+                          f"(default: {DEFAULT_CACHE_DIR})")
+    sem.add_argument("--no-sem-cache", action="store_true",
+                     help="disable the summary cache for this run")
     return parser
 
 
@@ -92,6 +134,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_rule_listing())
         return 0
+    if (args.baseline or args.write_baseline) and not args.sem:
+        parser.error("--baseline/--write-baseline require --sem")
     paths = list(args.paths)
     if not paths:
         if os.path.isdir(DEFAULT_TARGET):
@@ -101,7 +145,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"no paths given and default target {DEFAULT_TARGET!r} "
                 "does not exist here"
             )
-    analyzer = Analyzer(rules=_select_rules(args, parser))
+    selected = _selected_codes(args, parser)
+    analyzer = Analyzer(rules=_select_rules(selected, args.sem, parser))
 
     files = list(iter_python_files(paths))
     findings: List[Finding] = []
@@ -114,17 +159,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             findings.extend(analyzer.lint_file(path))
 
+    sem_stats = None
+    if args.sem:
+        cache = None
+        if not args.no_sem_cache:
+            cache = SummaryCache(args.sem_cache)
+        project = ProjectAnalyzer(cache=cache)
+        sem_findings = [
+            f
+            for f in project.analyze_paths(paths)
+            if f.code in selected or f.code == "SIM000"
+        ]
+        sem_stats = project.stats
+        if args.write_baseline:
+            write_baseline(args.write_baseline, sem_findings)
+            if not args.quiet:
+                print(
+                    f"simsem: baseline written to {args.write_baseline} "
+                    f"({len(sem_findings)} finding(s))",
+                    file=sys.stderr,
+                )
+            return 0
+        if args.baseline:
+            try:
+                baseline = load_baseline(args.baseline)
+            except BaselineError as exc:
+                parser.error(str(exc))
+            sem_findings = apply_baseline(sem_findings, baseline)
+        findings.extend(sem_findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
     if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "checked_files": len(files),
-                    "fixed": fixed_total,
-                    "findings": [f.to_json() for f in findings],
-                },
-                indent=2,
-            )
-        )
+        payload = {
+            "checked_files": len(files),
+            "fixed": fixed_total,
+            "findings": [f.to_json() for f in findings],
+        }
+        if sem_stats is not None:
+            payload["sem"] = sem_stats.as_dict()
+        print(json.dumps(payload, indent=2))
     else:
         for finding in findings:
             print(finding.format())
@@ -134,6 +207,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             if args.fix:
                 summary += f", {fixed_total} fixed"
+            if sem_stats is not None:
+                summary += (
+                    f" (sem: {sem_stats.computed} summarized, "
+                    f"{sem_stats.cached} cached)"
+                )
             print(summary, file=sys.stderr)
     return 1 if findings else 0
 

@@ -218,9 +218,10 @@ class Analyzer:
 
     def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
         if rules is None:
-            from repro.lint.rules import all_rules
+            # The one registry both the analyzer and the CLI build from.
+            from repro.lint.registry import syntactic_rules
 
-            rules = all_rules()
+            rules = syntactic_rules()
         self.rules: List[Rule] = list(rules)
 
     def lint_source(

@@ -1,0 +1,78 @@
+"""The single rule registry: syntactic rule classes + semantic rule infos.
+
+Before this module existed, the rule list was assembled independently by
+:mod:`repro.lint.cli` (code validation, ``--list-rules``) and
+:mod:`repro.lint.core` (the analyzer's default rule set), which is how
+catalogs drift.  Now both — plus the semantic pass, the tests and the
+docs — build from here:
+
+* :func:`syntactic_rules` — fresh :class:`~repro.lint.core.Rule`
+  instances (SIM001–SIM010), what :class:`~repro.lint.core.Analyzer`
+  runs per file;
+* :func:`known_codes` — every valid code for ``--select``/``--ignore``,
+  optionally including the semantic codes SIM011–SIM015;
+* :func:`catalog` — uniform entries for every code, in code order, for
+  ``--list-rules`` and LINTING.md cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from repro.lint.core import Rule, Severity
+from repro.lint.rules import RULE_CLASSES, all_rules
+from repro.lint.sem.info import SEM_CODES, SEM_RULE_INFOS
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One rule's catalog row, whichever pass implements it."""
+
+    code: str
+    name: str
+    severity: Severity
+    rationale: str
+    kind: str  # "syntactic" (per-file Rule) or "semantic" (whole-program)
+
+
+def syntactic_rules() -> List[Rule]:
+    """Fresh instances of every per-file rule, in code order."""
+    return all_rules()
+
+
+def known_codes(include_sem: bool = True) -> FrozenSet[str]:
+    """Every rule code the CLI accepts."""
+    codes = {cls.code for cls in RULE_CLASSES}
+    if include_sem:
+        codes.update(SEM_CODES)
+    return frozenset(codes)
+
+
+def catalog() -> List[CatalogEntry]:
+    """All rules — syntactic and semantic — as uniform entries."""
+    entries = [
+        CatalogEntry(
+            code=cls.code,
+            name=cls.name,
+            severity=cls.severity,
+            rationale=cls.rationale,
+            kind="syntactic",
+        )
+        for cls in RULE_CLASSES
+    ]
+    entries.extend(
+        CatalogEntry(
+            code=info.code,
+            name=info.name,
+            severity=info.severity,
+            rationale=info.rationale,
+            kind="semantic",
+        )
+        for info in SEM_RULE_INFOS
+    )
+    entries.sort(key=lambda entry: entry.code)
+    return entries
+
+
+__all__ = ["CatalogEntry", "catalog", "known_codes", "syntactic_rules"]

@@ -1,0 +1,43 @@
+"""simsem: cross-module semantic analysis for the simulator.
+
+Two phases (see LINTING.md for the rule catalog SIM011–SIM015):
+
+1. :mod:`repro.lint.sem.summary` extracts one JSON-serializable summary
+   per file — symbol definitions, abstract argument values, locally
+   decidable findings — cacheable by content hash
+   (:mod:`repro.lint.sem.cache`);
+2. :mod:`repro.lint.sem.project` joins the summaries into whole-program
+   tables and checks unit-sink dataflow, hook conformance and handler
+   reachability against the sink registry
+   (:mod:`repro.lint.sem.registry`).
+
+Run it via ``python -m repro lint --sem src/repro``.
+"""
+
+from repro.lint.sem.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.sem.cache import DEFAULT_CACHE_DIR, SummaryCache, summary_key
+from repro.lint.sem.info import SEM_CODES, SEM_RULE_INFOS, SemRuleInfo
+from repro.lint.sem.project import ProjectAnalyzer, SemStats
+from repro.lint.sem.registry import SinkRegistry, SinkRegistryError
+from repro.lint.sem.summary import build_summary
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ProjectAnalyzer",
+    "SEM_CODES",
+    "SEM_RULE_INFOS",
+    "SemRuleInfo",
+    "SemStats",
+    "SinkRegistry",
+    "SinkRegistryError",
+    "SummaryCache",
+    "apply_baseline",
+    "build_summary",
+    "load_baseline",
+    "summary_key",
+    "write_baseline",
+]

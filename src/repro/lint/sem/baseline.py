@@ -1,0 +1,96 @@
+"""Baseline ratchet for semantic findings.
+
+A baseline records, per ``(path, code)`` pair, how many findings existed
+when it was written.  A later run only reports findings *beyond* the
+baselined count — so a legacy tree can adopt the analyzer immediately,
+while any NEW violation (or an old one moving to a new file) still
+fails.  Fixing findings and rewriting the baseline only ever shrinks it:
+the ratchet direction.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for an unreadable or structurally invalid baseline file."""
+
+
+def _key(path: str, code: str) -> str:
+    return f"{path}:{code}"
+
+
+def load_baseline(path: "str | Path") -> Dict[str, int]:
+    """``{"<path>:<code>": allowed_count}`` from a baseline file."""
+    try:
+        loaded = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(loaded, dict) or loaded.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported structure or version"
+        )
+    counts = loaded.get("counts")
+    if not isinstance(counts, dict):
+        raise BaselineError(f"baseline {path} is missing its counts table")
+    result: Dict[str, int] = {}
+    for key, value in counts.items():
+        if not isinstance(key, str) or not isinstance(value, int) or value < 1:
+            raise BaselineError(
+                f"baseline {path}: bad entry {key!r}: {value!r}"
+            )
+        result[key] = value
+    return result
+
+
+def write_baseline(path: "str | Path", findings: Sequence[Finding]) -> None:
+    """Write the baseline matching the given findings."""
+    counts = Counter(_key(f.path, f.code) for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "counts": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Suppress findings up to each baselined count, report the excess.
+
+    Findings within a ``(path, code)`` group are ordered by position, so
+    the *earliest* N are absorbed and anything beyond them reports —
+    deterministic, if arbitrary; the point of a ratchet is the count,
+    not which individual line absorbs it.
+    """
+    remaining = dict(baseline)
+    kept: List[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code)):
+        key = _key(finding.path, finding.code)
+        allowance = remaining.get(key, 0)
+        if allowance > 0:
+            remaining[key] = allowance - 1
+        else:
+            kept.append(finding)
+    return kept
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,80 @@
+"""Content-addressed on-disk cache for phase-1 file summaries.
+
+Same idiom as :mod:`repro.runner.cache`: the key is a sha256 over
+everything that could change the summary — the schema version, the sink
+registry digest, and the file's source text — so invalidation is free
+(a changed input simply hashes to a new key) and a warm entry can be
+replayed without parsing the file at all.  Entries are single JSON
+files written atomically (temp file + ``os.replace``), safe under
+concurrent runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.lint.sem.summary import SUMMARY_VERSION
+
+#: Default cache directory, relative to the repo root (gitignored).
+DEFAULT_CACHE_DIR = ".simsem-cache"
+
+
+def summary_key(source: str, registry_digest: str) -> str:
+    """Cache key for one file's summary."""
+    hasher = hashlib.sha256()
+    hasher.update(f"simsem-summary-v{SUMMARY_VERSION}\n".encode("utf-8"))
+    hasher.update(registry_digest.encode("utf-8"))
+    hasher.update(b"\n")
+    hasher.update(source.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class SummaryCache:
+    """Keyed JSON blobs under one directory, created lazily."""
+
+    def __init__(self, directory: "str | os.PathLike[str]") -> None:
+        self.directory = Path(directory)
+
+    def _entry_path(self, key: str) -> Path:
+        # Two-level fanout keeps any one directory small.
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached summary for ``key``, or ``None``.
+
+        A corrupt or truncated entry (interrupted writer from a crashed
+        run) is treated as a miss, never an error.
+        """
+        entry = self._entry_path(key)
+        try:
+            with entry.open("r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(loaded, dict):
+            return None
+        if loaded.get("version") != SUMMARY_VERSION:
+            return None
+        return loaded
+
+    def put(self, key: str, summary: Dict[str, Any]) -> None:
+        entry = self._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        tmp = entry.with_name(entry.name + f".tmp{os.getpid()}")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                json.dump(summary, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, entry)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+
+__all__ = ["DEFAULT_CACHE_DIR", "SummaryCache", "summary_key"]

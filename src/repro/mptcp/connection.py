@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.net.network import Network
 from repro.net.packet import MSS_BYTES
 from repro.net.routing import Path
+from repro.sim.units import Seconds
 from repro.transport.flow import echo_mode_for
 from repro.transport.receiver import DEFAULT_DELACK_TIMEOUT, Receiver
 from repro.transport.tcp import InfiniteSource, TcpSender, segments_for_bytes
@@ -54,13 +55,13 @@ class MptcpConnection:
         flow_id: Optional[int] = None,
         beta: float = 4.0,
         initial_cwnd: float = 10,
-        rto_min: float = 0.200,
-        delack_timeout: float = DEFAULT_DELACK_TIMEOUT,
+        rto_min: Seconds = 0.200,
+        delack_timeout: Seconds = DEFAULT_DELACK_TIMEOUT,
         on_complete: Optional[Callable[["MptcpConnection", float], None]] = None,
         reinject_after_timeouts: Optional[int] = None,
         sack: bool = False,
         weight: float = 1.0,
-        ack_jitter: float = 0.0,
+        ack_jitter: Seconds = 0.0,
     ) -> None:
         if not paths:
             raise ValueError("a connection needs at least one path")

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
+from repro.sim.units import BitsPerSecond, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
@@ -48,8 +49,8 @@ class Link:
         name: str,
         src: "Node",
         dst: "Node",
-        rate_bps: float,
-        delay: float,
+        rate_bps: BitsPerSecond,
+        delay: Seconds,
         queue: Optional[DropTailQueue] = None,
         layer: str = "",
     ) -> None:

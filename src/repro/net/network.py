@@ -16,6 +16,7 @@ from repro.net.queue import DropTailQueue
 from repro.net.routing import Path, enumerate_paths
 from repro.obs.hooks import active_profiler
 from repro.sim.engine import Simulator
+from repro.sim.units import BitsPerSecond, Seconds
 from repro.validate.hooks import active_validator
 
 QueueFactory = Callable[[], DropTailQueue]
@@ -64,8 +65,8 @@ class Network:
         self,
         a: Node,
         b: Node,
-        rate_bps: float,
-        delay: float,
+        rate_bps: BitsPerSecond,
+        delay: Seconds,
         queue_factory: Optional[QueueFactory] = None,
         layer: str = "",
     ) -> Tuple[Link, Link]:
@@ -85,8 +86,8 @@ class Network:
         self,
         src: Node,
         dst: Node,
-        rate_bps: float,
-        delay: float,
+        rate_bps: BitsPerSecond,
+        delay: Seconds,
         queue_factory: Optional[QueueFactory] = None,
         layer: str = "",
     ) -> Link:

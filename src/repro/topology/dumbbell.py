@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 from repro.net.network import Network
 from repro.net.queue import DropTailQueue, ThresholdECNQueue
 from repro.net.routing import Path
+from repro.sim.units import BitsPerSecond, Seconds
 
 
 class DumbbellNetwork(Network):
@@ -36,10 +37,10 @@ class DumbbellNetwork(Network):
 
 def build_dumbbell(
     pair_rtts: Sequence[float],
-    bottleneck_rate_bps: float = 1e9,
+    bottleneck_rate_bps: BitsPerSecond = 1e9,
     queue_capacity: int = 100,
     marking_threshold: Optional[int] = 10,
-    bottleneck_delay: Optional[float] = None,
+    bottleneck_delay: Optional[Seconds] = None,
 ) -> DumbbellNetwork:
     """Build a dumbbell whose pair ``i`` has base RTT ``pair_rtts[i]``.
 

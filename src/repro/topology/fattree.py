@@ -22,6 +22,7 @@ from typing import List, Tuple
 
 from repro.net.network import Network
 from repro.net.queue import DropTailQueue, ThresholdECNQueue
+from repro.sim.units import BitsPerSecond, Seconds
 
 
 class FatTreeNetwork(Network):
@@ -59,10 +60,10 @@ class FatTreeNetwork(Network):
 
 def build_fattree(
     k: int = 4,
-    link_rate_bps: float = 1e9,
-    rack_delay: float = 20e-6,
-    aggregation_delay: float = 30e-6,
-    core_delay: float = 40e-6,
+    link_rate_bps: BitsPerSecond = 1e9,
+    rack_delay: Seconds = 20e-6,
+    aggregation_delay: Seconds = 30e-6,
+    core_delay: Seconds = 40e-6,
     queue_capacity: int = 100,
     marking_threshold: int = 10,
 ) -> FatTreeNetwork:

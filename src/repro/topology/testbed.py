@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.net.network import Network
 from repro.net.queue import DropTailQueue, ThresholdECNQueue
 from repro.net.routing import Path
+from repro.sim.units import BitsPerSecond, Seconds, gigabits_per_second
 
 
 class ShiftingTestbed(Network):
@@ -56,8 +57,8 @@ class ShiftingTestbed(Network):
 
 
 def build_shifting_testbed(
-    bottleneck_rate_bps: float = 300e6,
-    rtt: float = 1.8e-3,
+    bottleneck_rate_bps: BitsPerSecond = 300e6,
+    rtt: Seconds = 1.8e-3,
     queue_capacity: int = 100,
     marking_threshold: int = 15,
 ) -> ShiftingTestbed:
@@ -71,7 +72,7 @@ def build_shifting_testbed(
     net.base_rtt = rtt
 
     hop_delay = rtt / 6.0
-    access_rate = 1e9
+    access_rate = gigabits_per_second(1)
 
     def bottleneck_queue() -> DropTailQueue:
         return ThresholdECNQueue(queue_capacity, marking_threshold)

@@ -16,6 +16,7 @@ from repro.net.link import Link
 from repro.net.network import Network
 from repro.net.queue import DropTailQueue, ThresholdECNQueue
 from repro.net.routing import Path
+from repro.sim.units import Seconds, gigabits_per_second
 
 #: The paper's bottleneck capacities, left to right, bits/second.
 DEFAULT_CAPACITIES = (0.8e9, 1.2e9, 2.0e9, 1.5e9, 0.5e9)
@@ -62,7 +63,7 @@ class TorusNetwork(Network):
 
 def build_torus(
     capacities: Sequence[float] = DEFAULT_CAPACITIES,
-    rtt: float = 350e-6,
+    rtt: Seconds = 350e-6,
     queue_capacity: int = 100,
     marking_threshold: int = 20,
     num_background: int = 4,
@@ -79,7 +80,7 @@ def build_torus(
     net.base_rtt = rtt
 
     hop_delay = rtt / 6.0
-    access_rate = 10e9
+    access_rate = gigabits_per_second(10)
 
     def marking_queue() -> DropTailQueue:
         return ThresholdECNQueue(queue_capacity, marking_threshold)

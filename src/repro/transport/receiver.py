@@ -28,6 +28,7 @@ from repro.net.packet import Packet, make_ack_packet
 from repro.net.routing import Path
 from repro.sim.engine import Simulator
 from repro.sim.events import Timer
+from repro.sim.units import Seconds
 
 
 class EchoMode(enum.Enum):
@@ -83,10 +84,10 @@ class Receiver:
         subflow: int,
         reverse_path: Path,
         echo_mode: EchoMode = EchoMode.CLASSIC,
-        delack_timeout: float = DEFAULT_DELACK_TIMEOUT,
+        delack_timeout: Seconds = DEFAULT_DELACK_TIMEOUT,
         on_segment: Optional[Callable[[int], None]] = None,
         sack_enabled: bool = False,
-        ack_jitter: float = 0.0,
+        ack_jitter: Seconds = 0.0,
         jitter_seed: int = 0,
     ) -> None:
         self.sim = sim

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.sim.units import Seconds
+
 #: Linux default minimum RTO; the quantity Table 1/Fig. 9 discussions hinge on.
 DEFAULT_RTO_MIN = 0.200
 #: Cap on exponential backoff of the RTO.
@@ -31,8 +33,8 @@ class RttEstimator:
 
     def __init__(
         self,
-        rto_min: float = DEFAULT_RTO_MIN,
-        rto_max: float = DEFAULT_RTO_MAX,
+        rto_min: Seconds = DEFAULT_RTO_MIN,
+        rto_max: Seconds = DEFAULT_RTO_MAX,
     ) -> None:
         if rto_min <= 0:
             raise ValueError(f"rto_min must be positive, got {rto_min}")

@@ -23,6 +23,7 @@ from repro.net.packet import MSS_BYTES, Packet, make_data_packet
 from repro.net.routing import Path
 from repro.sim.engine import Simulator
 from repro.sim.events import Timer
+from repro.sim.units import Seconds
 from repro.transport.cc import CongestionControl
 from repro.transport.rto import RttEstimator
 from repro.validate.hooks import active_validator
@@ -130,7 +131,7 @@ class TcpSender:
         cc: CongestionControl,
         source: SegmentSource,
         initial_cwnd: float = DEFAULT_INITIAL_CWND,
-        rto_min: float = 0.200,
+        rto_min: Seconds = 0.200,
         on_complete: Optional[Callable[[float], None]] = None,
         on_delivered: Optional[Callable[[int], None]] = None,
         sack_enabled: bool = False,

@@ -1,0 +1,4 @@
+# simlint-path: src/repro/fixture_sem/s11/config.py
+"""Constants for the SIM011 bad twin: a bare literal, imported elsewhere."""
+
+LINK_RATE = 1e9

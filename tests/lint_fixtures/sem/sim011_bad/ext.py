@@ -1,0 +1,13 @@
+# simlint-path: src/repro/fixture_sem/s11/ext.py
+"""Registry-declared sink (see sinks.toml) misused both ways."""
+
+from repro.fixture_sem.s11.topo import make_link
+from repro.sim.units import megabits_per_second
+
+
+def install(rto: float) -> None:
+    make_link(rto, 0)  # EXPECT: SIM011
+
+
+def deploy() -> None:
+    install(megabits_per_second(5))  # EXPECT: SIM011

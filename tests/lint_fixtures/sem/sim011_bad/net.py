@@ -1,0 +1,18 @@
+# simlint-path: src/repro/fixture_sem/s11/net.py
+"""Attribute-call sink: the receiver type is never resolved, but every
+candidate named ``attach`` agrees on the parameter dimensions."""
+
+from repro.sim.units import Seconds
+
+
+class Net:
+    def attach(self, delay: Seconds) -> None:
+        """Annotated method sink."""
+
+
+class Builder:
+    def __init__(self, net: Net) -> None:
+        self.net = net
+
+    def run(self) -> None:
+        self.net.attach(0.25)  # EXPECT: SIM011

@@ -1,0 +1,25 @@
+# simlint-path: src/repro/fixture_sem/s11/topo.py
+"""Annotated sinks and their misuses (SIM011 bad twin)."""
+
+from repro.fixture_sem.s11.config import LINK_RATE
+from repro.sim.units import (
+    BitsPerSecond,
+    Seconds,
+    gigabits_per_second,
+    megabits_per_second,
+)
+
+
+def make_link(rate_bps: BitsPerSecond, delay: Seconds) -> None:
+    """Alias annotations make both parameters declared sinks."""
+
+
+def wire(rate_bps: BitsPerSecond, hop: float) -> None:
+    make_link(rate_bps, hop)
+
+
+def build() -> None:
+    delay = 0.00002
+    make_link(megabits_per_second(300), megabits_per_second(1))  # EXPECT: SIM011
+    make_link(LINK_RATE, delay)  # EXPECT: SIM011, SIM011
+    wire(gigabits_per_second(1), 0.003)  # EXPECT: SIM011

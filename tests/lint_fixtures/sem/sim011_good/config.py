@@ -1,0 +1,6 @@
+# simlint-path: src/repro/fixture_sem/s11/config.py
+"""Constants for the SIM011 good twin: unit-constructed at origin."""
+
+from repro.sim.units import gigabits_per_second
+
+LINK_RATE = gigabits_per_second(1)

@@ -1,0 +1,13 @@
+# simlint-path: src/repro/fixture_sem/s11/ext.py
+"""Registry-declared sink (see sinks.toml) used consistently."""
+
+from repro.fixture_sem.s11.topo import make_link
+from repro.sim.units import megabits_per_second, milliseconds
+
+
+def install(rto: float) -> None:
+    make_link(megabits_per_second(40), rto)
+
+
+def deploy() -> None:
+    install(milliseconds(200))

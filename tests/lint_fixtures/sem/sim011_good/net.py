@@ -1,0 +1,17 @@
+# simlint-path: src/repro/fixture_sem/s11/net.py
+"""Attribute-call sink fed a value of the declared dimension."""
+
+from repro.sim.units import Seconds, microseconds
+
+
+class Net:
+    def attach(self, delay: Seconds) -> None:
+        """Annotated method sink."""
+
+
+class Builder:
+    def __init__(self, net: Net) -> None:
+        self.net = net
+
+    def run(self) -> None:
+        self.net.attach(microseconds(250))

@@ -1,0 +1,33 @@
+# simlint-path: src/repro/fixture_sem/s11/topo.py
+"""The same sinks as the bad twin, used correctly everywhere.
+
+The last call in build() passes a raw kwarg that simlint's SIM004
+already owns — simsem must not double-report it. The zero literal is
+dimensionless by convention and exempt.
+"""
+
+from repro.fixture_sem.s11.config import LINK_RATE
+from repro.sim.units import (
+    BitsPerSecond,
+    Seconds,
+    gigabits_per_second,
+    megabits_per_second,
+    microseconds,
+)
+
+
+def make_link(rate_bps: BitsPerSecond, delay: Seconds) -> None:
+    """Alias annotations make both parameters declared sinks."""
+
+
+def wire(rate_bps: BitsPerSecond, hop: float) -> None:
+    make_link(rate_bps, hop)
+
+
+def build() -> None:
+    delay = microseconds(20)
+    make_link(megabits_per_second(300), delay)
+    make_link(LINK_RATE, microseconds(20))
+    make_link(gigabits_per_second(1), 0)
+    wire(gigabits_per_second(1), microseconds(5))
+    make_link(gigabits_per_second(1), delay=0.002)

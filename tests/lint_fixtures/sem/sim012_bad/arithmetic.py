@@ -1,0 +1,17 @@
+# simlint-path: src/repro/fixture_sem/s12/arithmetic.py
+"""Dimensionally unsafe arithmetic (SIM012 bad twin)."""
+
+from repro.sim.units import bytes_, megabits_per_second, microseconds
+
+
+def slack() -> float:
+    return microseconds(50) + bytes_(1500)  # EXPECT: SIM012
+
+
+def headroom() -> float:
+    gap = megabits_per_second(100) - microseconds(10)  # EXPECT: SIM012
+    return gap
+
+
+def nonsense_capacity() -> float:
+    return megabits_per_second(10) * megabits_per_second(5)  # EXPECT: SIM012

@@ -1,0 +1,25 @@
+# simlint-path: src/repro/fixture_sem/s12/arithmetic.py
+"""Dimensionally consistent arithmetic (SIM012 good twin)."""
+
+from repro.sim.units import (
+    Seconds,
+    megabits_per_second,
+    microseconds,
+    milliseconds,
+)
+
+
+def slack() -> float:
+    return microseconds(50) + milliseconds(1)
+
+
+def scaled() -> float:
+    return megabits_per_second(10) * 4
+
+
+def budget() -> float:
+    return milliseconds(5) - microseconds(50)
+
+
+def per_packet(total: Seconds) -> float:
+    return total / 2

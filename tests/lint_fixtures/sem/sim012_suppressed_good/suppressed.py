@@ -1,0 +1,9 @@
+# simlint-path: src/repro/fixture_sem/s12s/suppressed.py
+"""An acknowledged unit mix, suppressed in place — the sem pass honours
+the same ``# simlint: disable=...`` syntax as the syntactic rules."""
+
+from repro.sim.units import bytes_, microseconds
+
+
+def slack() -> float:
+    return microseconds(50) + bytes_(1500)  # simlint: disable=SIM012

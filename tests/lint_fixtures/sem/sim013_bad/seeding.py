@@ -1,0 +1,20 @@
+# simlint-path: src/repro/fixture_sem/s13/seeding.py
+"""Nondeterministic seed provenance (SIM013 bad twin)."""
+
+import os
+import random
+import time
+
+from repro.sim.random import RandomStreams
+
+
+def per_flow_rng(flow_id: str) -> random.Random:
+    return random.Random(hash(flow_id))  # EXPECT: SIM013
+
+
+def per_process_rng() -> random.Random:
+    return random.Random(os.getpid())  # EXPECT: SIM013
+
+
+def wall_clock_streams() -> RandomStreams:
+    return RandomStreams(seed=int(time.time()))  # EXPECT: SIM013

@@ -1,0 +1,20 @@
+# simlint-path: src/repro/fixture_sem/s13/seeding.py
+"""Deterministic seed provenance (SIM013 good twin): every seed
+descends from a literal, a seed-named value, or a pure hash of one."""
+
+import random
+import zlib
+
+from repro.sim.random import RandomStreams
+
+
+def root_rng() -> random.Random:
+    return random.Random(0)
+
+
+def per_flow_rng(seed: int, flow_id: str) -> random.Random:
+    return random.Random(seed ^ zlib.crc32(flow_id.encode()))
+
+
+def streams(component_seed: int) -> RandomStreams:
+    return RandomStreams(seed=component_seed)

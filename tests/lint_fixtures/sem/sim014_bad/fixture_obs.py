@@ -1,0 +1,14 @@
+# simlint-path: src/repro/validate/fixture_obs.py
+"""Observer protocol for the SIM014 bad twin.
+
+The virtual path places this file under repro.validate, making its
+on_* methods the protocol side of the hook-conformance check.
+"""
+
+
+class FixtureObserver:
+    def on_enqueue(self, packet: object) -> None:
+        """Fired by the model module."""
+
+    def on_vanish(self, packet: object) -> None:  # EXPECT: SIM014
+        """Defined, but no instrumented site ever fires it."""

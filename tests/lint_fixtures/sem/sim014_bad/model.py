@@ -1,0 +1,11 @@
+# simlint-path: src/repro/fixture_sem/s14/model.py
+"""Instrumented model that fires one hook no observer defines."""
+
+
+class Queue:
+    def __init__(self, observer: object) -> None:
+        self.observer = observer
+
+    def push(self, packet: object) -> None:
+        self.observer.on_enqueue(packet)
+        self.observer.on_push_back(packet)  # EXPECT: SIM014

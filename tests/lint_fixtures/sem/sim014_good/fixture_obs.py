@@ -1,0 +1,10 @@
+# simlint-path: src/repro/validate/fixture_obs.py
+"""Observer protocol for the SIM014 good twin: every hook is fired."""
+
+
+class FixtureObserver:
+    def on_enqueue(self, packet: object) -> None:
+        """Fired by Queue.push."""
+
+    def on_drop(self, packet: object) -> None:
+        """Fired by Queue.drop."""

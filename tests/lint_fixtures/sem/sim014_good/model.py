@@ -1,0 +1,13 @@
+# simlint-path: src/repro/fixture_sem/s14/model.py
+"""Instrumented model whose hook calls all match defined hooks."""
+
+
+class Queue:
+    def __init__(self, observer: object) -> None:
+        self.observer = observer
+
+    def push(self, packet: object) -> None:
+        self.observer.on_enqueue(packet)
+
+    def drop(self, packet: object) -> None:
+        self.observer.on_drop(packet)

@@ -1,0 +1,15 @@
+# simlint-path: src/repro/fixture_sem/s15/handlers.py
+"""Dead event handlers (SIM015 bad twin): handler-shaped names no
+identifier anywhere in the analyzed tree references."""
+
+
+class Worker:
+    def start(self) -> None:
+        self.active = True
+
+    def _finish_transmission(self) -> None:  # EXPECT: SIM015
+        self.active = False
+
+
+def _handle_orphan_timeout() -> None:  # EXPECT: SIM015
+    pass

@@ -1,0 +1,22 @@
+# simlint-path: src/repro/fixture_sem/s15/handlers.py
+"""Live event handlers (SIM015 good twin): every handler-shaped def is
+referenced — as a schedule() callback or through a dispatch table."""
+
+
+class Worker:
+    def __init__(self, sim: object) -> None:
+        self.sim = sim
+        self.active = False
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._finish_transmission)
+
+    def _finish_transmission(self) -> None:
+        self.active = False
+
+
+def _handle_orphan_timeout() -> None:
+    pass
+
+
+HANDLERS = {"orphan": _handle_orphan_timeout}

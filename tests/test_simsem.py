@@ -1,0 +1,495 @@
+"""Unit and integration tests for simsem (repro.lint.sem).
+
+Covers the pieces the fixture corpus does not: the sink-registry parser,
+phase-1 summary extraction, the content-addressed summary cache
+(hit / invalidation / corruption), the baseline ratchet, the CLI
+surface (``--sem``, ``--baseline``, ``--write-baseline``, cache flags),
+the SIM004 ``--fix`` round trip, and the acceptance gate that the real
+tree analyzes clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Analyzer, catalog, known_codes
+from repro.lint.cli import main as lint_main
+from repro.lint.core import Finding, Severity
+from repro.lint.sem import (
+    ProjectAnalyzer,
+    SinkRegistry,
+    SinkRegistryError,
+    SummaryCache,
+    apply_baseline,
+    build_summary,
+    load_baseline,
+    summary_key,
+    write_baseline,
+)
+from repro.lint.sem.baseline import BaselineError
+from repro.lint.sem.registry import parse_sinks_toml
+from repro.lint.sem.summary import module_name_for_path
+from repro.sim import units
+
+pytestmark = pytest.mark.simsem
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# Sink registry
+# ----------------------------------------------------------------------
+
+
+def test_parse_sinks_toml_happy_path():
+    sinks = parse_sinks_toml(
+        """
+        # a comment
+        [repro.net.link.Link.__init__]
+        rate_bps = "bits_per_second"  # trailing comment
+        delay = "seconds"
+
+        [repro.sim.units.transmission_delay]
+        size_bytes = "bytes"
+        """
+    )
+    assert sinks["repro.net.link.Link.__init__"] == {
+        "rate_bps": "bits_per_second",
+        "delay": "seconds",
+    }
+    assert sinks["repro.sim.units.transmission_delay"] == {"size_bytes": "bytes"}
+
+
+@pytest.mark.parametrize(
+    "text, fragment",
+    [
+        ("[a]\nx = \"seconds\"\n[a]\ny = \"seconds\"", "duplicate section"),
+        ("[a.b]\nx = \"fortnights\"", "unknown dimension"),
+        ("x = \"seconds\"", "outside any [section]"),
+        ("[a.b]\nx = seconds", "quoted string"),
+        ("[a..b]\nx = \"seconds\"", "malformed section"),
+        ("[a.b]\n2x = \"seconds\"", "not an identifier"),
+        ("[a.b]\nx = \"seconds\"\nx = \"bytes\"", "duplicate parameter"),
+        ("[a.b]\njust some words", "expected"),
+    ],
+)
+def test_parse_sinks_toml_rejects(text, fragment):
+    with pytest.raises(SinkRegistryError) as excinfo:
+        parse_sinks_toml(text)
+    assert fragment in str(excinfo.value)
+
+
+def test_registry_lookup_and_digest():
+    registry = SinkRegistry({"repro.net.link.Link.__init__": {"delay": "seconds"}})
+    digest_before = registry.digest()
+    # A constructor sink answers to the class name at attribute calls.
+    assert registry.by_callable_name("Link") == [
+        ("repro.net.link.Link.__init__", {"delay": "seconds"})
+    ]
+    assert registry.by_qname("repro.net.link.Link.__init__") == {"delay": "seconds"}
+    registry.add("repro.net.network.Network.connect", "rate_bps", "bits_per_second")
+    assert registry.digest() != digest_before
+    # Conflicting redeclaration is a hard error, agreement is idempotent.
+    registry.add("repro.net.network.Network.connect", "rate_bps", "bits_per_second")
+    with pytest.raises(SinkRegistryError):
+        registry.add("repro.net.network.Network.connect", "rate_bps", "seconds")
+
+
+def test_checked_in_registry_loads_and_covers_link():
+    registry = SinkRegistry.load()
+    assert registry.by_qname("repro.net.link.Link.__init__") == {
+        "rate_bps": "bits_per_second",
+        "delay": "seconds",
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase-1 summaries
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path, module",
+    [
+        ("src/repro/net/link.py", "repro.net.link"),
+        ("src/repro/lint/__init__.py", "repro.lint"),
+        ("repro/sim/engine.py", "repro.sim.engine"),
+        ("/tmp/whatever/mod.py", "mod"),
+    ],
+)
+def test_module_name_for_path(path, module):
+    assert module_name_for_path(path) == module
+
+
+def test_build_summary_extracts_facts():
+    source = (
+        "from repro.sim.units import Seconds, milliseconds\n"
+        "\n"
+        "TIMEOUT = 0.2\n"
+        "\n"
+        "def set_rto(rto: Seconds) -> None:\n"
+        "    pass\n"
+        "\n"
+        "def run() -> None:\n"
+        "    set_rto(milliseconds(200))\n"
+    )
+    summary = build_summary("src/repro/transport/demo.py", source)
+    assert summary["module"] == "repro.transport.demo"
+    assert not summary["parse_error"]
+    assert summary["functions"]["set_rto"]["param_dims"] == {"rto": "seconds"}
+    assert summary["module_constants"]["TIMEOUT"] == {
+        "k": "raw", "via": 1, "zero": False,
+    }
+    # Both the outer local call and the inner units call are recorded.
+    (call,) = [
+        c for c in summary["functions"]["run"]["calls"]
+        if c["callee"]["kind"] == "local"
+    ]
+    assert call["callee"] == {"kind": "local", "name": "set_rto"}
+    assert call["args"] == [{"k": "dim", "d": "seconds"}]
+    assert summary_key(source, "d") == summary_key(source, "d")
+    assert summary_key(source, "d") != summary_key(source + "#", "d")
+
+
+def test_build_summary_syntax_error_degrades_to_sim000():
+    summary = build_summary("src/repro/broken.py", "def broken(:\n")
+    assert summary["parse_error"]
+    (finding,) = summary["local_findings"]
+    assert finding[0] == "SIM000"
+
+
+# ----------------------------------------------------------------------
+# Summary cache
+# ----------------------------------------------------------------------
+
+
+def _write_tree(root: Path) -> None:
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "arith.py").write_text(
+        "from repro.sim.units import bytes_, microseconds\n"
+        "\n"
+        "def slack():\n"
+        "    return microseconds(50) + bytes_(1500)\n",
+        encoding="utf-8",
+    )
+    (root / "clean_a.py").write_text("def ok():\n    return 1\n", encoding="utf-8")
+    (root / "clean_b.py").write_text("VALUE = 3\n", encoding="utf-8")
+
+
+def test_cache_warm_run_reuses_every_summary(tmp_path):
+    """The acceptance property: an unchanged tree replays entirely from
+    cache, with identical findings (including cached local findings)."""
+    tree = tmp_path / "tree"
+    _write_tree(tree)
+    cache_dir = tmp_path / "cache"
+
+    cold = ProjectAnalyzer(registry=SinkRegistry(), cache=SummaryCache(cache_dir))
+    cold_findings = [f.format() for f in cold.analyze_paths([tree])]
+    assert cold.stats.files == 3
+    assert cold.stats.computed == 3
+    assert cold.stats.cached == 0
+    assert len(cold_findings) == 1 and "SIM012" in cold_findings[0]
+
+    warm = ProjectAnalyzer(registry=SinkRegistry(), cache=SummaryCache(cache_dir))
+    warm_findings = [f.format() for f in warm.analyze_paths([tree])]
+    assert warm.stats.files == 3
+    assert warm.stats.cached == warm.stats.files  # every file reused
+    assert warm.stats.computed == 0
+    assert warm_findings == cold_findings
+
+
+def test_cache_invalidates_on_edit_registry_and_corruption(tmp_path):
+    tree = tmp_path / "tree"
+    _write_tree(tree)
+    cache_dir = tmp_path / "cache"
+    ProjectAnalyzer(
+        registry=SinkRegistry(), cache=SummaryCache(cache_dir)
+    ).analyze_paths([tree])
+
+    # Edit one file: exactly that file is recomputed.
+    (tree / "clean_b.py").write_text("VALUE = 4\n", encoding="utf-8")
+    edited = ProjectAnalyzer(registry=SinkRegistry(), cache=SummaryCache(cache_dir))
+    edited.analyze_paths([tree])
+    assert edited.stats.computed == 1
+    assert edited.stats.cached == 2
+
+    # A different sink registry changes every key: full recompute.
+    other = SinkRegistry({"repro.x.f": {"t": "seconds"}})
+    rekeyed = ProjectAnalyzer(registry=other, cache=SummaryCache(cache_dir))
+    rekeyed.analyze_paths([tree])
+    assert rekeyed.stats.computed == 3
+
+    # A corrupt cache entry is a miss, never a crash.
+    entries = sorted(cache_dir.rglob("*.json"))
+    assert entries
+    entries[0].write_text("not json{", encoding="utf-8")
+    recovered = ProjectAnalyzer(
+        registry=SinkRegistry(), cache=SummaryCache(cache_dir)
+    )
+    findings = recovered.analyze_paths([tree])
+    assert recovered.stats.files == 3
+    assert [f.code for f in findings] == ["SIM012"]
+
+
+def test_cache_does_not_replay_across_renames(tmp_path):
+    """A byte-identical file at a NEW path must re-report at that path."""
+    cache = SummaryCache(tmp_path / "cache")
+    source = (
+        "from repro.sim.units import bytes_, microseconds\n"
+        "def slack():\n"
+        "    return microseconds(1) + bytes_(1)\n"
+    )
+    first = ProjectAnalyzer(registry=SinkRegistry(), cache=cache)
+    (finding,) = first.analyze_sources([("src/repro/old.py", source)])
+    assert finding.path == "src/repro/old.py"
+    second = ProjectAnalyzer(registry=SinkRegistry(), cache=cache)
+    (finding,) = second.analyze_sources([("src/repro/new.py", source)])
+    assert finding.path == "src/repro/new.py"
+    assert second.stats.computed == 1  # the cached summary was not reused
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet
+# ----------------------------------------------------------------------
+
+
+def _finding(path: str, line: int, code: str = "SIM011") -> Finding:
+    return Finding(
+        path=path, line=line, col=0, code=code,
+        message="m", severity=Severity.ERROR,
+    )
+
+
+def test_baseline_round_trip_absorbs_earliest(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    old = [_finding("a.py", 3), _finding("a.py", 9), _finding("b.py", 1, "SIM013")]
+    write_baseline(baseline_file, old)
+    loaded = load_baseline(baseline_file)
+    assert loaded == {"a.py:SIM011": 2, "b.py:SIM013": 1}
+    # Same findings: everything absorbed.
+    assert apply_baseline(old, loaded) == []
+    # One extra finding in an existing group: only the excess reports,
+    # and it is the latest by position.
+    grown = old + [_finding("a.py", 40)]
+    (excess,) = apply_baseline(grown, loaded)
+    assert (excess.path, excess.line) == ("a.py", 40)
+    # A new (path, code) group has no allowance at all.
+    moved = [_finding("c.py", 2)]
+    assert apply_baseline(moved, loaded) == moved
+    # Ratchet: fixing findings and rewriting can only shrink the counts.
+    write_baseline(baseline_file, old[:1])
+    assert load_baseline(baseline_file) == {"a.py:SIM011": 1}
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json{",
+        json.dumps({"version": 99, "counts": {}}),
+        json.dumps({"version": 1}),
+        json.dumps({"version": 1, "counts": {"a.py:SIM011": 0}}),
+        json.dumps({"version": 1, "counts": {"a.py:SIM011": "two"}}),
+    ],
+)
+def test_baseline_rejects_malformed(tmp_path, payload):
+    target = tmp_path / "baseline.json"
+    target.write_text(payload, encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(target)
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "missing.json")
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+def _write_bad_module(tree: Path) -> Path:
+    tree.mkdir(parents=True, exist_ok=True)
+    target = tree / "mod.py"
+    target.write_text(
+        "from repro.sim.units import Seconds, megabits_per_second\n"
+        "\n"
+        "def set_timeout(timeout: Seconds) -> None:\n"
+        "    pass\n"
+        "\n"
+        "def run() -> None:\n"
+        "    set_timeout(megabits_per_second(1))\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def test_cli_sem_exit_codes(tmp_path, capsys):
+    tree = tmp_path / "proj"
+    target = _write_bad_module(tree)
+    cache = str(tmp_path / "cache")
+    assert lint_main(["--sem", "--sem-cache", cache, str(tree), "-q"]) == 1
+    out = capsys.readouterr().out
+    assert "SIM011" in out and "seconds" in out
+    # Fix the dimension: clean exit, warm cache for the unchanged file.
+    target.write_text(
+        target.read_text(encoding="utf-8").replace(
+            "megabits_per_second(1)", "milliseconds(200)"
+        ),
+        encoding="utf-8",
+    )
+    assert lint_main(["--sem", "--sem-cache", cache, str(tree), "-q"]) == 0
+    assert lint_main(["--sem", "--no-sem-cache", str(tree), "-q"]) == 0
+
+
+def test_cli_sem_select_filters_sem_codes(tmp_path):
+    tree = tmp_path / "proj"
+    _write_bad_module(tree)
+    args = ["--sem", "--no-sem-cache", str(tree), "-q"]
+    assert lint_main(["--select", "SIM011", *args]) == 1
+    assert lint_main(["--select", "SIM013", *args]) == 0
+    assert lint_main(["--ignore", "SIM011", *args]) == 0
+    # Without --sem the semantic pass does not run at all.
+    assert lint_main([str(tree), "-q"]) == 0
+
+
+def test_cli_sem_json_payload(tmp_path, capsys):
+    tree = tmp_path / "proj"
+    _write_bad_module(tree)
+    assert lint_main(
+        ["--sem", "--no-sem-cache", "--format", "json", str(tree)]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sem"]["files"] == 1
+    assert payload["sem"]["findings"] == 1
+    (finding,) = payload["findings"]
+    assert finding["code"] == "SIM011"
+
+
+def test_cli_baseline_ratchet_round_trip(tmp_path, capsys):
+    tree = tmp_path / "proj"
+    _write_bad_module(tree)
+    baseline = str(tmp_path / "baseline.json")
+    cache = str(tmp_path / "cache")
+    base_args = ["--sem", "--sem-cache", cache, str(tree), "-q"]
+    assert lint_main(["--write-baseline", baseline, *base_args]) == 0
+    capsys.readouterr()
+    # Ratcheted: the legacy finding is absorbed.
+    assert lint_main(["--baseline", baseline, *base_args]) == 0
+    # A NEW violation still fails even under the baseline.
+    extra = tree / "extra.py"
+    extra.write_text(
+        "import random\n"
+        "\n"
+        "def rng(name: str) -> random.Random:\n"
+        "    return random.Random(hash(name))\n",
+        encoding="utf-8",
+    )
+    assert lint_main(["--baseline", baseline, *base_args]) == 1
+    out = capsys.readouterr().out
+    assert "SIM013" in out and "SIM011" not in out
+
+
+def test_cli_baseline_requires_sem(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(["--baseline", str(tmp_path / "b.json"), str(tmp_path)])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(
+            ["--sem", "--baseline", str(tmp_path / "missing.json"), str(tmp_path)]
+        )
+    assert excinfo.value.code == 2  # unreadable baseline is a usage error
+
+
+def test_cli_list_rules_includes_semantic_catalog(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("SIM011", "SIM012", "SIM013", "SIM014", "SIM015"):
+        assert code in out
+        assert code in known_codes()
+    assert "(--sem)" in out
+    kinds = {entry.code: entry.kind for entry in catalog()}
+    assert kinds["SIM004"] == "syntactic"
+    assert kinds["SIM011"] == "semantic"
+
+
+# ----------------------------------------------------------------------
+# SIM004 --fix round trip
+# ----------------------------------------------------------------------
+
+
+def test_sim004_fix_round_trip(tmp_path):
+    """--fix rewrites bare unit literals to constructor calls that are
+    bit-identical to the original floats, adds the import, and leaves a
+    file that lints clean and parses."""
+    target = tmp_path / "build_topo.py"
+    target.write_text(
+        "def build(net):\n"
+        "    net.connect(0, 1, 1e9, 20e-6)\n"
+        "    net.add_link(rate_bps=300e6, delay=0.005)\n"
+        "    net.add_link(rate_bps=2.5e9, delay=1.8e-3)\n",
+        encoding="utf-8",
+    )
+    assert lint_main([str(target), "-q"]) == 1
+    assert lint_main(["--fix", str(target), "-q"]) == 0
+    fixed = target.read_text(encoding="utf-8")
+    # Exact conversions use the named constructor; values a named
+    # conversion cannot reproduce bit-identically (20e-6, 2.5e9, 1.8e-3)
+    # fall back to the identity constructor wrapping the literal.
+    assert "gigabits_per_second(1)" in fixed
+    assert "seconds(20e-6)" in fixed
+    assert "megabits_per_second(300)" in fixed
+    assert "milliseconds(5)" in fixed
+    assert "bits_per_second(2.5e9)" in fixed
+    assert "seconds(1.8e-3)" in fixed
+    assert fixed.startswith("from repro.sim.units import ")
+    compile(fixed, str(target), "exec")
+    # Bit-identity of every rewritten value.
+    assert units.gigabits_per_second(1) == 1e9
+    assert units.seconds(20e-6) == 20e-6
+    assert units.megabits_per_second(300) == 300e6
+    assert units.milliseconds(5) == 0.005
+    assert units.bits_per_second(2.5e9) == 2.5e9
+    assert units.seconds(1.8e-3) == 1.8e-3
+    # Idempotent.
+    assert lint_main(["--fix", str(target), "-q"]) == 0
+    assert target.read_text(encoding="utf-8") == fixed
+
+
+def test_sim004_fix_extends_existing_units_import(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "from repro.sim.units import seconds\n"
+        "\n"
+        "def build(net):\n"
+        "    net.add_link(rate_bps=1e9, delay=seconds(0.001))\n",
+        encoding="utf-8",
+    )
+    assert lint_main(["--fix", str(target), "-q"]) == 0
+    fixed = target.read_text(encoding="utf-8")
+    assert fixed.splitlines()[0] == (
+        "from repro.sim.units import gigabits_per_second, seconds"
+    )
+    assert "gigabits_per_second(1)" in fixed
+
+
+def test_sim004_findings_are_marked_fixable():
+    source = "def f(net):\n    net.add_link(rate_bps=1e9, delay=0.25)\n"
+    findings = Analyzer().lint_source(source, path="src/repro/x.py")
+    sim004 = [f for f in findings if f.code == "SIM004"]
+    assert len(sim004) == 2
+    assert all(f.fix is not None for f in sim004)
+
+
+# ----------------------------------------------------------------------
+# Acceptance gate: the real tree is clean
+# ----------------------------------------------------------------------
+
+
+def test_real_tree_analyzes_clean():
+    """src/repro carries zero semantic findings — the empty-baseline
+    acceptance criterion, kept as a permanent regression gate (the
+    access_rate literals in topology/{testbed,torus}.py once violated
+    it; see VALIDATION.md)."""
+    analyzer = ProjectAnalyzer(cache=None)
+    findings = analyzer.analyze_paths([REPO / "src" / "repro"])
+    assert findings == [], "\n".join(f.format() for f in findings)
+    assert analyzer.stats.files > 90
