@@ -10,6 +10,7 @@
 #   scripts/check.sh --sem         # simsem only (cross-module semantic pass)
 #   scripts/check.sh --tests       # tests only
 #   scripts/check.sh --invariants  # invariant + golden-trace suite only
+#   scripts/check.sh --bench       # engine bench vs BENCH_engine.json (>30% drop fails)
 #
 # ruff and mypy are optional: their configs live in pyproject.toml, but
 # the check degrades gracefully on machines without them.  simlint and
@@ -27,14 +28,16 @@ run_tests=1
 run_simlint_only=0
 run_sem_only=0
 run_invariants_only=0
+run_bench_only=0
 case "${1:-}" in
     --lint) run_tests=0 ;;
     --simlint) run_tests=0; run_lint=0; run_simlint_only=1 ;;
     --sem) run_tests=0; run_lint=0; run_sem_only=1 ;;
     --tests) run_lint=0 ;;
     --invariants) run_lint=0; run_invariants_only=1 ;;
+    --bench) run_lint=0; run_tests=0; run_bench_only=1 ;;
     "") ;;
-    *) echo "usage: scripts/check.sh [--lint|--simlint|--sem|--tests|--invariants]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--lint|--simlint|--sem|--tests|--invariants|--bench]" >&2; exit 2 ;;
 esac
 
 simlint() {
@@ -86,6 +89,17 @@ if [ "$run_lint" = 1 ]; then
     else
         echo "== mypy not installed; skipping =="
     fi
+fi
+
+if [ "$run_bench_only" = 1 ]; then
+    # Perf-regression gate: re-measure the canonical cells (best-of-N to
+    # ride out shared-runner noise) and fail on a >30% events/sec drop
+    # against the committed trajectory's last entry.  The wide tolerance
+    # is deliberate: single-core CI boxes jitter by 10-20% run to run;
+    # the gate is for catching algorithmic regressions, not ulps.
+    echo "== engine bench (vs BENCH_engine.json, threshold 30%) =="
+    REPRO_BENCH_REPEATS="${REPRO_BENCH_REPEATS:-5}" \
+        PYTHONPATH="$REPRO_PYTHONPATH" python benchmarks/engine_bench.py --check --threshold 0.30
 fi
 
 if [ "$run_invariants_only" = 1 ]; then

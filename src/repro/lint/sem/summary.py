@@ -39,7 +39,7 @@ from repro.sim.units import ANNOTATION_DIMENSIONS, CONSTRUCTOR_DIMENSIONS
 
 #: Bump when the summary schema or extraction logic changes; part of the
 #: cache key, so stale cached summaries can never be replayed.
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 UNITS_MODULE = "repro.sim.units"
 RANDOM_STREAMS = "repro.sim.random.RandomStreams"
@@ -52,7 +52,10 @@ HANDLER_NAME_RE = re.compile(
 
 #: Receiver identifiers that make a ``.on_*()`` call an observer-hook
 #: dispatch (SIM014): ``observer.on_x(...)``, ``self.observer.on_x(...)``,
-#: ``profiler.on_x(...)``.
+#: ``profiler.on_x(...)``.  Hot paths that hoist the receiver into a
+#: local (``obs = self.observer`` before a drain loop) are caught by the
+#: scanner's alias tracking, which maps the local back to the receiver
+#: it was loaded from.
 HOOK_RECEIVERS = frozenset({"observer", "profiler"})
 
 #: Roots that make a seed expression nondeterministic across processes
@@ -246,6 +249,10 @@ class _FunctionScanner:
         self.return_dims: List[Optional[str]] = []
         self._env: Dict[str, Dict[str, Any]] = {}
         self._assigned: Set[str] = set()
+        #: Local name -> hook receiver it aliases (``obs = self.observer``
+        #: makes ``obs`` an alias of ``observer``); ``None`` poisons a
+        #: name that was also assigned something else.
+        self._hook_aliases: Dict[str, Optional[str]] = {}
 
     # -- environment -----------------------------------------------------
 
@@ -277,10 +284,20 @@ class _FunctionScanner:
                 value = None
             if not targets:
                 continue
+            alias = None if value is None else self._receiver_terminal(value)
             for target in targets:
                 for name_node in ast.walk(target):
                     if isinstance(name_node, ast.Name):
                         self._assigned.add(name_node.id)
+                        # Alias tracking for hook receivers: only a plain
+                        # ``name = <receiver>`` binds; any other
+                        # assignment to the same name poisons it.
+                        bound = alias if name_node is target else None
+                        if name_node.id in self._hook_aliases:
+                            if self._hook_aliases[name_node.id] != bound:
+                                self._hook_aliases[name_node.id] = None
+                        else:
+                            self._hook_aliases[name_node.id] = bound
             if value is None:
                 for target in targets:
                     for name_node in ast.walk(target):
@@ -489,12 +506,27 @@ class _FunctionScanner:
                 )
             )
 
-    def _hook_receiver(self, expr: ast.expr) -> Optional[str]:
-        """Terminal identifier of an observer-ish hook receiver."""
+    @staticmethod
+    def _receiver_terminal(expr: ast.expr) -> Optional[str]:
+        """Direct hook-receiver terminal of an expression, if any."""
         if isinstance(expr, ast.Name) and expr.id in HOOK_RECEIVERS:
             return expr.id
         if isinstance(expr, ast.Attribute) and expr.attr in HOOK_RECEIVERS:
             return expr.attr
+        return None
+
+    def _hook_receiver(self, expr: ast.expr) -> Optional[str]:
+        """Terminal identifier of an observer-ish hook receiver.
+
+        Either a direct reference (``observer.on_x``, ``self.observer.on_x``)
+        or a local alias hoisted out of a hot loop (``obs = self.observer``
+        followed by ``obs.on_x(...)``) — batched drains do exactly that.
+        """
+        terminal = self._receiver_terminal(expr)
+        if terminal is not None:
+            return terminal
+        if isinstance(expr, ast.Name):
+            return self._hook_aliases.get(expr.id)
         return None
 
     def _record_call(self, call: ast.Call) -> None:

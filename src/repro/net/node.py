@@ -59,8 +59,27 @@ class Switch(Node):
         self.packets_forwarded = 0
 
     def receive(self, packet: Packet) -> None:
+        # `forward` inlined: switches see every transit packet, so the
+        # extra frame is measurable on fat-tree cells.
         self.packets_forwarded += 1
-        self.forward(packet)
+        hop = packet.hop
+        path = packet.path
+        if hop >= len(path):
+            raise RuntimeError(
+                f"{self.name}: packet has no next hop ({packet!r})"
+            )
+        packet.hop = hop + 1
+        link = path[hop]
+        if link.busy and link.up:
+            # The busy-transmitter branch of Link.enqueue, inlined: on a
+            # loaded fabric most transit packets take it, and the saved
+            # frame is measurable.  Everything else (idle transmitter,
+            # downed link, batched trains) falls through to the real
+            # method, which redoes its own offered-bytes accounting.
+            link.bytes_offered += packet.size
+            link.queue.accept(packet)
+            return
+        link.enqueue(packet)
 
 
 class Host(Node):
@@ -107,7 +126,16 @@ class Host(Node):
 
     def send(self, packet: Packet) -> bool:
         """Inject a locally generated packet onto its first hop."""
-        return self.forward(packet)
+        # `forward` inlined: every transmitted segment and ACK enters the
+        # network here, so the extra frame is measurable.
+        hop = packet.hop
+        path = packet.path
+        if hop >= len(path):
+            raise RuntimeError(
+                f"{self.name}: packet has no next hop ({packet!r})"
+            )
+        packet.hop = hop + 1
+        return path[hop].enqueue(packet)
 
 
 __all__ = ["Node", "Switch", "Host"]

@@ -111,16 +111,9 @@ def make_data_packet(
     size: int = DATA_PACKET_BYTES,
 ) -> Packet:
     """Build a full-MSS data packet stamped with the current time."""
-    return Packet(
-        DATA,
-        size,
-        flow,
-        subflow,
-        seq=seq,
-        ts=now,
-        ect=ect,
-        path=path,
-    )
+    # Positional arguments throughout: keyword matching costs real time
+    # at this call rate (one construction per transmitted segment).
+    return Packet(DATA, size, flow, subflow, seq, 0, now, -1.0, ect, False, 0, (), path, 0)
 
 
 def make_ack_packet(
@@ -139,16 +132,8 @@ def make_ack_packet(
     cannot be confused with forward-path congestion; we follow suit.
     """
     return Packet(
-        ACK,
-        ACK_PACKET_BYTES,
-        flow,
-        subflow,
-        ack=ack,
-        ts=now,
-        ts_echo=ts_echo,
-        ece_count=ece_count,
-        sack=sack,
-        path=path,
+        ACK, ACK_PACKET_BYTES, flow, subflow, 0, ack, now, ts_echo,
+        False, False, ece_count, sack, path, 0,
     )
 
 

@@ -83,22 +83,26 @@ class DropTailQueue:
     def accept(self, packet: Packet) -> bool:
         """Enqueue ``packet``; return ``False`` when it was dropped."""
         buffer = self._buffer
-        if len(buffer) >= self.capacity:
-            self.stats.dropped += 1
+        occupancy = len(buffer)
+        stats = self.stats
+        if occupancy >= self.capacity:
+            stats.dropped += 1
             return False
-        self._mark(packet, len(buffer))
+        self._mark(packet, occupancy)
         buffer.append(packet)
-        self.stats.enqueued += 1
-        if len(buffer) > self.stats.max_occupancy:
-            self.stats.max_occupancy = len(buffer)
+        stats.enqueued += 1
+        occupancy += 1
+        if occupancy > stats.max_occupancy:
+            stats.max_occupancy = occupancy
         return True
 
     def pop(self) -> Optional[Packet]:
         """Dequeue the head packet, or ``None`` when empty."""
-        if not self._buffer:
+        buffer = self._buffer
+        if not buffer:
             return None
         self.stats.dequeued += 1
-        return self._buffer.popleft()
+        return buffer.popleft()
 
     def _mark(self, packet: Packet, occupancy_before: int) -> None:
         """Hook for subclasses; DropTail never marks."""

@@ -57,12 +57,25 @@ class ComponentStat:
 
 @dataclass(frozen=True)
 class HeapStats:
-    """Heap-health counters over the profiled window."""
+    """Scheduler-health counters over the profiled window.
+
+    The name predates the calendar-queue engine; the counters now cover
+    its three tiers.  ``promotions``/``max_run`` count sorted-run rebuilds
+    and the largest run seen, ``far_spills`` counts records pulled from
+    the far heap into near buckets, and ``batches``/``batched_packets``
+    count link service trains when batched mode is enabled (see
+    :mod:`repro.net.link`); all zero under exact per-packet service.
+    """
 
     pushes: int
     pops: int
     compactions: int
     peak_size: int
+    promotions: int = 0
+    far_spills: int = 0
+    max_run: int = 0
+    batches: int = 0
+    batched_packets: int = 0
 
 
 @dataclass(frozen=True)
@@ -104,6 +117,11 @@ class ProfileSnapshot:
                 "pops": self.heap.pops,
                 "compactions": self.heap.compactions,
                 "peak_size": self.heap.peak_size,
+                "promotions": self.heap.promotions,
+                "far_spills": self.heap.far_spills,
+                "max_run": self.heap.max_run,
+                "batches": self.heap.batches,
+                "batched_packets": self.heap.batched_packets,
             },
         }
 
@@ -127,6 +145,11 @@ class ProfileSnapshot:
         lines.append(
             f"heap: {heap.pushes:,} pushes, {heap.pops:,} pops, "
             f"{heap.compactions} compactions, peak size {heap.peak_size:,}"
+        )
+        lines.append(
+            f"calendar: {heap.promotions:,} promotions "
+            f"(max run {heap.max_run:,}), {heap.far_spills:,} far spills, "
+            f"{heap.batches:,} link trains ({heap.batched_packets:,} packets)"
         )
         return "\n".join(lines)
 
@@ -156,6 +179,10 @@ class Profiler:
         self.pushes = 0
         self.pops = 0
         self.peak_size = 0
+        self.promotions = 0
+        self.max_run = 0
+        self.batches = 0
+        self.batched_packets = 0
 
     # -- attachment ----------------------------------------------------
 
@@ -196,6 +223,17 @@ class Profiler:
         """One cancelled event popped (and skipped) by the loop."""
         self.pops += 1
 
+    def on_promote(self, run_size: int) -> None:
+        """One near-bucket promotion produced a sorted run of ``run_size``."""
+        self.promotions += 1
+        if run_size > self.max_run:
+            self.max_run = run_size
+
+    def on_batch(self, packets: int) -> None:
+        """One batched link train served ``packets`` back-to-back packets."""
+        self.batches += 1
+        self.batched_packets += packets
+
     # -- results -------------------------------------------------------
 
     def snapshot(self) -> ProfileSnapshot:
@@ -209,6 +247,13 @@ class Profiler:
             pops=self.pops,
             compactions=sum(sim.compactions for sim in self._sims),
             peak_size=self.peak_size,
+            promotions=self.promotions,
+            far_spills=sum(
+                getattr(sim, "far_spills", 0) for sim in self._sims
+            ),
+            max_run=self.max_run,
+            batches=self.batches,
+            batched_packets=self.batched_packets,
         )
         return ProfileSnapshot(
             components=components,

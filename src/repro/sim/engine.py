@@ -1,23 +1,71 @@
 """The discrete-event simulator core.
 
-A :class:`Simulator` owns a binary heap of :class:`~repro.sim.events.Event`
-objects and a monotonically advancing clock.  Everything in the network
-model — link serialization, propagation, TCP timers, application arrivals —
-is expressed as events on a single simulator instance, so a whole experiment
+A :class:`Simulator` owns a three-tier calendar/ladder event structure
+and a monotonically advancing clock.  Everything in the network model —
+link serialization, propagation, TCP timers, application arrivals — is
+expressed as events on a single simulator instance, so a whole experiment
 is one deterministic event loop.
 
 Time is a ``float`` in **seconds**.  All delays produced by the network
 model are sums and quotients of exact inputs, and the deterministic
 ``(time, priority, seq)`` ordering means float rounding can never reorder
 two events that were scheduled in a defined order at the same instant.
+
+Event structure
+---------------
+
+Events live in exactly one of three tiers, partitioned by two moving
+time boundaries ``run_end < horizon`` (both absolute simulation times):
+
+* the **run** — a list sorted by ``(time, priority, seq)`` holding every
+  pending event with ``time < run_end``, consumed in order by an index
+  (no pops, no per-event heap maintenance).  Events scheduled *into* the
+  current run window (the common case: zero- and short-delay chains) are
+  insertion-sorted into the unconsumed suffix with :func:`bisect.insort`;
+* the **near bucket** — an unsorted list for ``run_end <= time <
+  horizon``.  Scheduling here is a plain ``list.append``.  When the run
+  drains, the near bucket is sorted once (Timsort, in C) and promoted to
+  be the new run;
+* the **far tier** — everything at ``time >= horizon`` (RTO timers,
+  application arrivals...).  Not a heap: a lazily sorted list.  Inserts
+  are plain appends onto a possibly-unsorted tail; the list is sorted
+  (Timsort exploits the already-sorted prefix) only when a promotion
+  actually needs to spill, and spilled records are consumed through an
+  index (``_far_i``) so a spill is one ``bisect`` plus one slice instead
+  of per-record ``heappop`` calls.  ``_far_tail_min`` tracks the minimum
+  time in the unsorted tail so the no-spill check stays O(1).
+
+The bucket width adapts to the observed event density (halving when runs
+come out oversized, doubling when they come out undersized), and a hard
+``RUN_MAX`` cut keeps any single promotion bounded: an oversized sorted
+run is split at a *time boundary*, never between two events at the same
+instant, so the ``(time, priority, seq)`` total order — including
+same-instant priority ties resolved across tiers — is exactly the order
+a single binary heap would produce.  ``tests/test_sim_calendar.py``
+pins this equivalence property against a reference heap.
+
+Event records are packed 6-tuples ``(time, priority, seq, event, callback,
+args)`` so ordering comparisons and sorting stay in C.  The ``event``
+field is ``None`` for records created by :meth:`Simulator.post`, the
+allocation-free fast path for the per-packet events (link serialization,
+propagation delivery) that are never cancelled; :meth:`Simulator.schedule`
+additionally allocates an :class:`~repro.sim.events.Event` handle for
+callers that may cancel.  Cancellation stays lazy (flag + skip-on-pop)
+with the same compaction thresholds the seed engine used.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import math
+from bisect import bisect_left, insort
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.sim.events import Event
+
+#: One packed event record; ``event`` is None for post()-ed records.
+EventRecord = Tuple[float, int, int, Optional[Event], Callable[..., None], tuple]
+
+_INF = math.inf
 
 
 class SimulationError(RuntimeError):
@@ -33,8 +81,8 @@ class Simulator:
         sim.schedule(0.5, callback, arg1, arg2)
         sim.run(until=10.0)
 
-    The simulator stops when the heap drains, when ``until`` is reached, or
-    when :meth:`stop` is called from inside a callback.
+    The simulator stops when the pending set drains, when ``until`` is
+    reached, or when :meth:`stop` is called from inside a callback.
     """
 
     #: Compaction fires only past this many pending cancellations …
@@ -42,22 +90,60 @@ class Simulator:
     #: … and only when cancelled events exceed this fraction of the heap.
     COMPACT_FRACTION = 0.5
 
+    #: Promotion sizing: halve the bucket width when a promoted run
+    #: exceeds RUN_HI records, double it below RUN_LO.  Runs are kept
+    #: deliberately short: scheduling *into* the active run is an
+    #: insertion-sort (C bisect + list-insert memmove), and the per-packet
+    #: layers post short-delay events constantly, so small runs trade a
+    #: few extra promotions (one cheap Timsort each) for much cheaper
+    #: in-run inserts.  Tuned on the BENCH_engine.json cells.
+    RUN_LO = 8
+    RUN_HI = 128
+    #: Hard cap: an oversized run is cut back to ~RUN_MAX at a time
+    #: boundary and the tail returned to the near bucket.
+    RUN_MAX = 512
+    #: Bucket width bounds (seconds of simulated time).
+    MIN_WIDTH = 1e-9
+    MAX_WIDTH = 64.0
+    #: Initial bucket width: a fraction of the paper testbed's ~100 us
+    #: RTT, so the first promotions start near the adapted regime.
+    INITIAL_WIDTH = 16e-6
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
+        # --- the three tiers ------------------------------------------
+        #: Sorted records with time < _run_end, consumed from _run_i.
+        self._run: List[EventRecord] = []
+        self._run_i = 0
+        self._run_end = 0.0
+        #: Unsorted records with _run_end <= time < _horizon.
+        self._near: List[EventRecord] = []
+        #: Records with time >= _horizon: a sorted prefix (consumed from
+        #: _far_i, sorted through _far_sorted) plus an appended unsorted
+        #: tail whose minimum time is _far_tail_min (inf when clean).
+        self._far: List[EventRecord] = []
+        self._far_i = 0
+        self._far_sorted = 0
+        self._far_tail_min = _INF
+        self._horizon = 0.0
+        self._width = self.INITIAL_WIDTH
+        # --- bookkeeping ----------------------------------------------
         self._running = False
         self._stopped = False
         self._events_processed = 0
         self._cancelled_pending = 0
         self._compactions = 0
+        self._promotions = 0
+        self._far_spills = 0
+        self._max_run = 0
         #: Optional validation observer (see :mod:`repro.validate`): when
         #: set *before* :meth:`run`, ``observer.on_event(time)`` fires for
         #: every event.  ``None`` (the default) costs one aliased branch.
         self.observer: Optional[Any] = None
         #: Optional engine profiler (see :mod:`repro.obs`): when set,
         #: every fired callback is timed with the profiler's own clock
-        #: and bucketed by component, and heap pushes/pops are counted.
+        #: and bucketed by component, and scheduler traffic is counted.
         #: ``None`` (the default) costs one aliased branch per event and
         #: one per :meth:`schedule` — the <3% zero-cost contract.
         self.profiler: Optional[Any] = None
@@ -78,18 +164,43 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the heap, including cancelled ones."""
-        return len(self._heap)
+        """Number of pending records, including cancelled ones."""
+        return (
+            (len(self._run) - self._run_i)
+            + len(self._near)
+            + (len(self._far) - self._far_i)
+        )
 
     @property
     def cancelled_pending(self) -> int:
-        """Number of cancelled events still occupying heap slots."""
+        """Number of cancelled events still occupying scheduler slots."""
         return self._cancelled_pending
 
     @property
     def compactions(self) -> int:
-        """Number of heap compactions performed (see :meth:`_compact`)."""
+        """Number of structure compactions performed (see :meth:`_compact`)."""
         return self._compactions
+
+    @property
+    def promotions(self) -> int:
+        """Number of near-bucket promotions (sorted-run rebuilds) so far."""
+        return self._promotions
+
+    @property
+    def far_spills(self) -> int:
+        """Records pulled from the far heap into near buckets so far."""
+        return self._far_spills
+
+    @property
+    def max_run(self) -> int:
+        """Largest promoted run size seen (scheduler health metric)."""
+        return self._max_run
+
+    def iter_pending(self) -> Iterator[EventRecord]:
+        """Yield every pending record (unspecified order; diagnostics/tests)."""
+        yield from self._run[self._run_i:]
+        yield from self._near
+        yield from self._far[self._far_i:]
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -109,48 +220,67 @@ class Simulator:
         same-time same-priority events fire in FIFO order.
 
         Returns the :class:`Event`, which the caller may :meth:`~Event.cancel`.
+        Hot paths that never cancel should prefer :meth:`post`, which
+        skips the handle allocation entirely.
         """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not 0.0 <= delay < _INF:
+            # One comparison rejects negatives, inf and NaN alike: NaN
+            # fails every comparison, and letting it into the ordered
+            # tiers would silently corrupt the (time, priority, seq)
+            # total order instead of failing loudly here.
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
         time = self._now + delay
-        self._seq += 1
-        event = Event(time, priority, self._seq, callback, args)
+        self._seq = seq = self._seq + 1
+        event = Event(time, priority, seq, callback, args)
         event.sim = self
-        # The heap stores plain tuples so ordering comparisons stay in C;
-        # the Event rides along for lazy cancellation.
-        heapq.heappush(self._heap, (time, priority, self._seq, event))
-        profiler = self.profiler
-        if profiler is not None:
-            profiler.on_push(len(self._heap))
+        record = (time, priority, seq, event, callback, args)
+        if time < self._run_end:
+            insort(self._run, record, self._run_i)
+        elif time < self._horizon:
+            self._near.append(record)
+        else:
+            self._far.append(record)
+            if time < self._far_tail_min:
+                self._far_tail_min = time
+        if self.profiler is not None:
+            self.profiler.on_push(self.pending_events)
         return event
 
-    def _note_cancelled(self) -> None:
-        """Called by :meth:`Event.cancel` while the event is heap-resident.
+    def post(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Schedule ``callback(*args)`` with no cancellation handle.
 
-        Lazy deletion leaves cancelled events on the heap until their
-        scheduled time; when they dominate (long runs cancel an RTO timer
-        per ACK burst), every ``heappush`` pays ``log`` of a mostly-dead
-        heap.  Rebuilding once the dead fraction passes
-        ``COMPACT_FRACTION`` keeps the amortized cost constant.
+        The allocation-free fast path for fire-and-forget events — link
+        serialization completions, propagation deliveries, ACK dispatch —
+        which dominate event traffic and are never cancelled.  Ordering
+        semantics are identical to :meth:`schedule` (``post`` consumes a
+        sequence number from the same counter), only the :class:`Event`
+        allocation and its back-reference bookkeeping are skipped.
         """
-        self._cancelled_pending += 1
-        if (
-            self._cancelled_pending > self.COMPACT_MIN_CANCELLED
-            and self._cancelled_pending * 2 > len(self._heap)
-        ):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify, in place.
-
-        In place because :meth:`run` holds a local alias of the heap list;
-        safe mid-run because the loop re-reads ``heap[0]`` every iteration.
-        """
-        live = [entry for entry in self._heap if not entry[3].cancelled]
-        self._heap[:] = live
-        heapq.heapify(self._heap)
-        self._cancelled_pending = 0
-        self._compactions += 1
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
+        time = self._now + delay
+        self._seq = seq = self._seq + 1
+        record = (time, priority, seq, None, callback, args)
+        if time < self._run_end:
+            insort(self._run, record, self._run_i)
+        elif time < self._horizon:
+            self._near.append(record)
+        else:
+            self._far.append(record)
+            if time < self._far_tail_min:
+                self._far_tail_min = time
+        if self.profiler is not None:
+            self.profiler.on_push(self.pending_events)
 
     def schedule_at(
         self,
@@ -165,6 +295,162 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}"
             )
         return self.schedule(time - self._now, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is scheduler-resident.
+
+        Lazy deletion leaves cancelled events in place until their
+        scheduled time; when they dominate (long runs cancel an RTO timer
+        per ACK burst), sorts and spills churn through mostly-dead
+        records.  Rebuilding once the dead fraction passes
+        ``COMPACT_FRACTION`` keeps the amortized cost constant.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 > self.pending_events
+        ):
+            self._compact()
+
+    @staticmethod
+    def _alive(record: EventRecord) -> bool:
+        event = record[3]
+        return event is None or not event.cancelled
+
+    def _compact(self) -> None:
+        """Drop cancelled records from all three tiers, in place.
+
+        In place (slice assignment) because :meth:`run` may hold a local
+        alias of the run list; safe mid-run because the loop re-reads the
+        consumption index after every callback.
+        """
+        alive = self._alive
+        self._run[:] = [r for r in self._run[self._run_i:] if alive(r)]
+        self._run_i = 0
+        self._near[:] = [r for r in self._near if alive(r)]
+        live_far = [r for r in self._far[self._far_i:] if alive(r)]
+        live_far.sort()
+        self._far[:] = live_far
+        self._far_i = 0
+        self._far_sorted = len(live_far)
+        self._far_tail_min = _INF
+        self._cancelled_pending = 0
+        self._compactions += 1
+
+    # ------------------------------------------------------------------
+    # Tier promotion
+    # ------------------------------------------------------------------
+
+    def _spill_far(self, horizon: float) -> None:
+        """Move far records with ``time < horizon`` into the near bucket.
+
+        Normalizes the far tier first when the unsorted tail could hold a
+        spill candidate: consumed prefix dropped, one Timsort (cheap —
+        the prefix is already sorted), then a single ``bisect`` bounds
+        the spill slice.  Records at exactly ``horizon`` stay far: the
+        probe ``(horizon,)`` compares below every real record at that
+        time, so ``bisect_left`` lands on the tier boundary.
+        """
+        far = self._far
+        i = self._far_i
+        if self._far_tail_min < horizon:
+            if i:
+                del far[:i]
+                i = self._far_i = 0
+            far.sort()
+            self._far_sorted = len(far)
+            self._far_tail_min = _INF
+        sorted_end = self._far_sorted
+        if i >= sorted_end or far[i][0] >= horizon:
+            return
+        idx = bisect_left(far, (horizon,), i, sorted_end)
+        self._near.extend(far[i:idx])
+        self._far_spills += idx - i
+        if idx >= len(far):
+            del far[:]
+            self._far_i = 0
+            self._far_sorted = 0
+        elif idx >= 8192:
+            # Trim the consumed prefix occasionally so memory stays
+            # bounded; amortized O(1) per spilled record.
+            del far[:idx]
+            self._far_i = 0
+            self._far_sorted = sorted_end - idx
+        else:
+            self._far_i = idx
+
+    def _promote(self) -> bool:
+        """Build the next sorted run; return False when nothing is pending.
+
+        Never runs user code: the loop calls it between events, so the
+        tier invariants can be rearranged atomically.
+        """
+        near = self._near
+        if near:
+            near.sort()
+        else:
+            far = self._far
+            i = self._far_i
+            if i >= len(far):
+                return False
+            # Jump the window to the earliest far event: sparse phases
+            # (idle network, lone RTO pending) skip ahead in one step
+            # instead of sliding the window bucket by bucket.
+            start = far[i][0] if i < self._far_sorted else _INF
+            if self._far_tail_min < start:
+                start = self._far_tail_min
+            horizon = start + self._width
+            self._horizon = horizon
+            self._spill_far(horizon)
+            near = self._near  # the spilled slice — already sorted
+        size = len(near)
+        run = near
+        tail: List[EventRecord] = []
+        run_end = self._horizon
+        if size > self.RUN_MAX:
+            # Cut the oversized run at a time boundary: records sharing
+            # one instant must stay in one tier, or a later-scheduled
+            # lower-priority record could overtake them.
+            cut = self.RUN_MAX
+            cut_time = run[cut][0]
+            while cut > 0 and run[cut - 1][0] == cut_time:
+                cut -= 1
+            if cut > 0:
+                tail = run[cut:]
+                del run[cut:]
+                run_end = cut_time
+        self._run = run
+        self._run_i = 0
+        self._run_end = run_end
+        self._near = tail
+        self._promotions += 1
+        if size > self._max_run:
+            self._max_run = size
+        # Adapt the bucket width to the observed density.
+        if size > self.RUN_HI:
+            if self._width > self.MIN_WIDTH:
+                self._width *= 0.5
+        elif size < self.RUN_LO and self._width < self.MAX_WIDTH:
+            self._width *= 2.0
+        if run_end == self._horizon:
+            # Consumed the whole near window: slide it one bucket and
+            # spill the far records that just became near.
+            horizon = run_end + self._width
+            self._horizon = horizon
+            far = self._far
+            i = self._far_i
+            if self._far_tail_min < horizon or (
+                i < self._far_sorted and far[i][0] < horizon
+            ):
+                self._spill_far(horizon)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.on_promote(size)
+        return True
 
     # ------------------------------------------------------------------
     # Running
@@ -186,9 +472,8 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
-        fired = 0
-        heap = self._heap
-        heappop = heapq.heappop
+        stop_time = _INF if until is None else until
+        remaining = _INF if max_events is None else max_events
         observer = self.observer
         profiler = self.profiler
         # The profiler supplies its own host clock: repro.sim never reads
@@ -196,42 +481,136 @@ class Simulator:
         clock: Optional[Callable[[], float]] = (
             profiler.clock if profiler is not None else None
         )
+        # Both loops re-read _run/_run_i every iteration (a cancel inside
+        # a callback can trigger a compaction that rebuilds the run and
+        # rewinds the index) and fetch the next record with a narrow
+        # try/except instead of a length check: the IndexError only ever
+        # means "run consumed", because nothing else runs inside the try.
+        exhausted = False
         try:
-            while heap:
-                time, _priority, _seq, event = heap[0]
-                if event.cancelled:
-                    heappop(heap)
-                    event.sim = None
-                    self._cancelled_pending -= 1
-                    if profiler is not None:
-                        profiler.on_discard()
-                    continue
-                if until is not None and time > until:
-                    self._now = until
-                    break
-                heappop(heap)
-                event.sim = None
-                self._now = time
-                if observer is not None:
-                    observer.on_event(time)
-                if clock is None:
-                    event.callback(*event.args)
-                else:
-                    started = clock()
-                    event.callback(*event.args)
-                    assert profiler is not None
-                    profiler.on_fire(event.callback, clock() - started)
-                self._events_processed += 1
-                fired += 1
-                if self._stopped:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
+            if observer is None and clock is None and max_events is None:
+                # Leanest loop: the default configuration for experiments
+                # (no hooks, no event budget).  Identical semantics minus
+                # the hook calls and the ``remaining`` countdown; keeping
+                # the hot loop branch-free is worth the duplication.
+                while True:
+                    i = self._run_i
+                    run = self._run
+                    try:
+                        record = run[i]
+                    except IndexError:
+                        if self._promote():
+                            continue
+                        exhausted = True
+                        break
+                    time = record[0]
+                    if time > stop_time:
+                        if stop_time > self._now:
+                            self._now = stop_time
+                        break
+                    event = record[3]
+                    if event is not None:
+                        if event.cancelled:
+                            self._run_i = i + 1
+                            event.sim = None
+                            self._cancelled_pending -= 1
+                            continue
+                        event.sim = None
+                    self._run_i = i + 1
+                    self._now = time
+                    args = record[5]
+                    if args:
+                        record[4](*args)
+                    else:
+                        record[4]()
+                    self._events_processed += 1
+                    if self._stopped:
+                        break
+            elif observer is None and clock is None:
+                # Lean loop with an event budget (max_events).
+                while True:
+                    i = self._run_i
+                    run = self._run
+                    try:
+                        record = run[i]
+                    except IndexError:
+                        if self._promote():
+                            continue
+                        exhausted = True
+                        break
+                    time = record[0]
+                    if time > stop_time:
+                        if stop_time > self._now:
+                            self._now = stop_time
+                        break
+                    event = record[3]
+                    if event is not None:
+                        if event.cancelled:
+                            self._run_i = i + 1
+                            event.sim = None
+                            self._cancelled_pending -= 1
+                            continue
+                        event.sim = None
+                    self._run_i = i + 1
+                    self._now = time
+                    args = record[5]
+                    if args:
+                        record[4](*args)
+                    else:
+                        record[4]()
+                    self._events_processed += 1
+                    if self._stopped:
+                        break
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
             else:
-                if until is not None and until > self._now:
-                    self._now = until
+                while True:
+                    i = self._run_i
+                    run = self._run
+                    try:
+                        record = run[i]
+                    except IndexError:
+                        if self._promote():
+                            continue
+                        exhausted = True
+                        break
+                    time = record[0]
+                    if time > stop_time:
+                        if stop_time > self._now:
+                            self._now = stop_time
+                        break
+                    event = record[3]
+                    if event is not None:
+                        if event.cancelled:
+                            self._run_i = i + 1
+                            event.sim = None
+                            self._cancelled_pending -= 1
+                            if profiler is not None:
+                                profiler.on_discard()
+                            continue
+                        event.sim = None
+                    self._run_i = i + 1
+                    self._now = time
+                    if observer is not None:
+                        observer.on_event(time)
+                    if clock is None:
+                        record[4](*record[5])
+                    else:
+                        started = clock()
+                        record[4](*record[5])
+                        assert profiler is not None
+                        profiler.on_fire(record[4], clock() - started)
+                    self._events_processed += 1
+                    if self._stopped:
+                        break
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
         finally:
             self._running = False
+        if exhausted and until is not None and stop_time > self._now:
+            self._now = stop_time
         return self._now
 
     def stop(self) -> None:
@@ -246,15 +625,28 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("cannot reset a running simulator")
-        for entry in self._heap:
-            entry[3].sim = None
-        self._heap.clear()
+        for record in self.iter_pending():
+            if record[3] is not None:
+                record[3].sim = None
+        self._run = []
+        self._run_i = 0
+        self._run_end = 0.0
+        self._near = []
+        self._far = []
+        self._far_i = 0
+        self._far_sorted = 0
+        self._far_tail_min = _INF
+        self._horizon = 0.0
+        self._width = self.INITIAL_WIDTH
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
         self._cancelled_pending = 0
         self._compactions = 0
+        self._promotions = 0
+        self._far_spills = 0
+        self._max_run = 0
         self._stopped = False
 
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = ["Simulator", "SimulationError", "EventRecord"]

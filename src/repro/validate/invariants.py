@@ -590,6 +590,9 @@ class Validator:
         """Instrument a link and its queue (idempotent per object)."""
         if link.observer is None:
             link.__class__ = _observed_link_class(link.__class__)
+            # The class swap changes where the link's pre-bound transmit
+            # callbacks must resolve; refresh them (see Link._rebind).
+            link._rebind()
             observer = LinkObserver(self, link)
             link.observer = observer
             self._link_observers.append(observer)

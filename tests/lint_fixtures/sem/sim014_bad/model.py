@@ -1,11 +1,21 @@
 # simlint-path: src/repro/fixture_sem/s14/model.py
-"""Instrumented model that fires one hook no observer defines."""
+"""Instrumented model that fires hooks no observer defines."""
 
 
 class Queue:
     def __init__(self, observer: object) -> None:
         self.observer = observer
+        self.items: list = []
 
     def push(self, packet: object) -> None:
         self.observer.on_enqueue(packet)
         self.observer.on_push_back(packet)  # EXPECT: SIM014
+
+    def drain(self) -> int:
+        # Aliased receivers are call sites too: hoisting the observer
+        # into a local must not hide a protocol mismatch.
+        obs = self.observer
+        count = len(self.items)
+        self.items.clear()
+        obs.on_bulk_vanish(count)  # EXPECT: SIM014
+        return count

@@ -8,3 +8,6 @@ class FixtureObserver:
 
     def on_drop(self, packet: object) -> None:
         """Fired by Queue.drop."""
+
+    def on_batch_drain(self, count: int) -> None:
+        """Fired only through Queue.drain's hoisted local alias."""

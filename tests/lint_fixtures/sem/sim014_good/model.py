@@ -5,9 +5,20 @@
 class Queue:
     def __init__(self, observer: object) -> None:
         self.observer = observer
+        self.items: list = []
 
     def push(self, packet: object) -> None:
         self.observer.on_enqueue(packet)
 
     def drop(self, packet: object) -> None:
         self.observer.on_drop(packet)
+
+    def drain(self) -> int:
+        # Batched-drain idiom: the receiver is hoisted out of the hot
+        # loop, so the call site fires through a local alias.
+        obs = self.observer
+        count = len(self.items)
+        self.items.clear()
+        if obs is not None:
+            obs.on_batch_drain(count)
+        return count

@@ -49,7 +49,8 @@ class TestSamplePriority:
     def test_ticks_scheduled_at_sample_priority(self, sim):
         monitor = QueueMonitor(sim, [], interval=0.01)
         monitor.start()
-        assert sim._heap[0][1] == SAMPLE_PRIORITY
+        (record,) = sim.iter_pending()
+        assert record[1] == SAMPLE_PRIORITY
 
     def test_stop_keeps_the_pending_sample(self, sim):
         """``stop()`` promises "after the current tick": the already-

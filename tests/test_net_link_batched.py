@@ -1,0 +1,195 @@
+"""Tests for the opt-in batched (train) link service mode.
+
+Batched mode (``Link(batch=N)`` / ``REPRO_LINK_BATCH``) coalesces up to N
+serialization-finish events into one train-finished event while posting
+every delivery at its exact per-packet arrival instant.  These tests pin
+the contract the module docstring states: arrival times identical to
+exact mode, per-packet ``observer.on_transmit`` hooks, byte counters
+committed at train start, profiler train accounting, and the env-var
+plumbing of :func:`repro.net.link.default_link_batch`.
+"""
+
+import pytest
+
+from repro.net.link import Link, default_link_batch
+from repro.net.node import Node
+from repro.net.packet import Packet, DATA
+from repro.net.queue import DropTailQueue
+from repro.obs.profiler import Profiler
+from repro.sim.engine import Simulator
+
+
+class Sink(Node):
+    __slots__ = ("arrivals",)
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet))
+
+
+class RecordingObserver:
+    """Minimal link observer: counts on_transmit like repro.validate's."""
+
+    def __init__(self):
+        self.transmitted = []
+
+    def on_transmit(self, link, packet):
+        self.transmitted.append((link.sim.now, packet))
+
+
+def make_link(sim, batch=None, rate=1e9, delay=10e-6, capacity=100):
+    src = Sink(sim, "src")
+    dst = Sink(sim, "dst")
+    link = Link(
+        sim, "L", src, dst, rate, delay, DropTailQueue(capacity), batch=batch
+    )
+    return link, dst
+
+
+def data(i=0, size=1500):
+    return Packet(DATA, size, 0, 0, seq=i)
+
+
+def drive(batch, n_packets, sim=None):
+    """Enqueue ``n_packets`` back-to-back and return (arrivals, link)."""
+    sim = sim if sim is not None else Simulator()
+    link, dst = make_link(sim, batch=batch)
+    packets = [data(i) for i in range(n_packets)]
+    for p in packets:
+        link.enqueue(p)
+    sim.run()
+    return dst.arrivals, link
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("batch", [2, 4, 16])
+    @pytest.mark.parametrize("n", [1, 3, 7, 16, 33])
+    def test_arrival_instants_match_exact_mode(self, batch, n):
+        # Equal up to float association: exact mode sums tx times one
+        # event at a time, a train accumulates offsets from its start,
+        # so the same instants can differ in the last ulp.
+        exact, _ = drive(None, n)
+        batched, _ = drive(batch, n)
+        assert [t for t, _ in batched] == pytest.approx(
+            [t for t, _ in exact], rel=1e-12, abs=0.0
+        )
+        assert [p.seq for _, p in batched] == [p.seq for _, p in exact]
+
+    def test_counters_match_exact_mode_at_end(self):
+        exact_arr, exact_link = drive(None, 9)
+        batched_arr, batched_link = drive(4, 9)
+        assert batched_link.packets_transmitted == exact_link.packets_transmitted
+        assert batched_link.bytes_transmitted == exact_link.bytes_transmitted
+        assert batched_link.busy is False and exact_link.busy is False
+
+    def test_fewer_scheduler_events_than_exact(self):
+        sim_exact = Simulator()
+        drive(None, 32, sim=sim_exact)
+        sim_batched = Simulator()
+        drive(16, 32, sim=sim_batched)
+        assert sim_batched.events_processed < sim_exact.events_processed
+
+
+class TestHooksAndProfiler:
+    def test_train_path_fires_on_transmit_per_packet(self):
+        sim = Simulator()
+        link, dst = make_link(sim, batch=4)
+        observer = RecordingObserver()
+        link.observer = observer
+        for i in range(6):
+            link.enqueue(data(i))
+        sim.run()
+        # The first packet starts a train from `enqueue`; all six packets
+        # must be observed exactly once, in service order.
+        assert [p.seq for _, p in observer.transmitted] == list(range(6))
+
+    def test_profiler_counts_trains_and_packets(self):
+        sim = Simulator()
+        profiler = Profiler()
+        profiler.attach(sim)
+        link, _ = make_link(sim, batch=4)
+        for i in range(10):
+            link.enqueue(data(i))
+        sim.run()
+        snap = profiler.snapshot()
+        assert snap.heap.batched_packets == 10
+        # The first train starts from `enqueue` while the queue is still
+        # empty, so it serves a single packet: trains of 1, 4, 4, 1.
+        assert snap.heap.batches == 4
+
+    def test_exact_mode_reports_no_batches(self):
+        sim = Simulator()
+        profiler = Profiler()
+        profiler.attach(sim)
+        link, _ = make_link(sim, batch=None)
+        for i in range(5):
+            link.enqueue(data(i))
+        sim.run()
+        snap = profiler.snapshot()
+        assert snap.heap.batches == 0
+        assert snap.heap.batched_packets == 0
+
+
+class TestFailureSemantics:
+    def test_down_link_between_trains_stops_service(self):
+        sim = Simulator()
+        link, dst = make_link(sim, batch=2)
+        for i in range(6):
+            link.enqueue(data(i))
+        # Trains at batch=2: {0} (started from `enqueue` with an empty
+        # queue), then {1, 2}, ...  Take the link down mid-second-train:
+        # its deliveries are already posted and still arrive, the queued
+        # remainder {3, 4, 5} is discarded, and the train-finished event
+        # finds the link down and releases the transmitter.
+        mid_second_train = 2 * (1500 * 8.0 / 1e9)
+        sim.schedule(mid_second_train, link.set_down, priority=-1)
+        sim.run()
+        assert [p.seq for _, p in dst.arrivals] == [0, 1, 2]
+        assert link.busy is False
+        assert link.queue.stats.dropped == 3
+
+
+class TestConfiguration:
+    def test_batch_parameter_clamps_to_one(self):
+        sim = Simulator()
+        link, _ = make_link(sim, batch=0)
+        assert link.batch == 1
+        link2, _ = make_link(sim, batch=-3)
+        assert link2.batch == 1
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LINK_BATCH", "8")
+        assert default_link_batch() == 8
+        sim = Simulator()
+        link, _ = make_link(sim, batch=None)
+        assert link.batch == 8
+
+    @pytest.mark.parametrize("raw", ["", "  ", "zero", "1", "-4", "0"])
+    def test_env_var_invalid_or_disabled_means_exact(self, raw, monkeypatch):
+        monkeypatch.setenv("REPRO_LINK_BATCH", raw)
+        assert default_link_batch() == 1
+
+    def test_rebind_refreshes_hot_callbacks(self):
+        # The pre-bound serve/deliver callbacks must follow a __class__
+        # swap (the repro.validate wrapping strategy) once _rebind runs.
+        sim = Simulator()
+        link, dst = make_link(sim, batch=None)
+        seen = []
+
+        class Traced(Link):
+            __slots__ = ()
+
+            def _finish_transmission(self, packet):
+                seen.append(packet.seq)
+                Link._finish_transmission(self, packet)
+
+        link.__class__ = Traced
+        link._rebind()
+        for i in range(3):
+            link.enqueue(data(i))
+        sim.run()
+        assert seen == [0, 1, 2]
+        assert [p.seq for _, p in dst.arrivals] == [0, 1, 2]

@@ -170,7 +170,9 @@ class TestSnapshot:
             c.component for c in snap.components
         }
         assert set(as_dict["heap"]) == {"pushes", "pops", "compactions",
-                                        "peak_size"}
+                                        "peak_size", "promotions",
+                                        "far_spills", "max_run", "batches",
+                                        "batched_packets"}
         text = snap.format()
         assert "Ticker.tick" in text
         assert "heap:" in text

@@ -209,7 +209,11 @@ class TestHeapCompaction:
         # the trigger thresholds.
         assert sim.pending_events < 5000
         assert sim.pending_events >= 1000
-        live = sum(1 for entry in sim._heap if not entry[3].cancelled)
+        live = sum(
+            1
+            for record in sim.iter_pending()
+            if record[3] is None or not record[3].cancelled
+        )
         assert live == 1000
         assert sim.cancelled_pending == sim.pending_events - live
 
