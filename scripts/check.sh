@@ -102,10 +102,22 @@ if [ "$run_bench_only" = 1 ]; then
         PYTHONPATH="$REPRO_PYTHONPATH" python benchmarks/engine_bench.py --check --threshold 0.30
 fi
 
+workload_smoke() {
+    # One tiny cell of each new traffic kind through the real CLI: the
+    # cheapest end-to-end proof that samplers -> schedule -> open-loop
+    # launch -> FCT/queue reducers -> table formatting still compose.
+    echo "== workload smoke (tiny workload + incast cells via the CLI) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro workload \
+        --loads 0.4 --schemes xmp-2 --duration 0.006 --no-cache
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro incast \
+        --fan-ins 4 --schemes xmp-2 --duration 0.006 --no-cache
+}
+
 if [ "$run_invariants_only" = 1 ]; then
     echo "== pytest (invariants + golden traces) =="
     PYTHONPATH="$REPRO_PYTHONPATH" python -m pytest -x -q -m invariants
 elif [ "$run_tests" = 1 ]; then
     echo "== pytest (tier 1, includes invariant + simlint suites) =="
     PYTHONPATH="$REPRO_PYTHONPATH" python -m pytest -x -q
+    workload_smoke
 fi

@@ -64,6 +64,18 @@ from repro.experiments.table2_coexistence import (
     QUEUE_SIZES,
     run_table2,
 )
+from repro.experiments.workload_matrix import (
+    MATRIX_LOADS,
+    MATRIX_SCHEMES,
+    SWEEP_FAN_INS,
+    IncastSweepScenario,
+    WorkloadScenario,
+    parse_scheme_spec,
+    run_incast_sweep,
+    run_workload_matrix,
+)
+from repro.workloads.arrivals import ARRIVAL_NAMES
+from repro.workloads.cdf import WORKLOAD_NAMES
 from repro.runner import (
     Campaign,
     CampaignResult,
@@ -92,9 +104,19 @@ EXPERIMENT_INFO: Dict[str, Tuple[int, str]] = {
     "jct": (len(TABLE1_SCHEMES), "Fig. 9 / Table 3: incast job completion times"),
     "rtt": (len(FIG10_SCHEMES), "Fig. 10: RTT by category"),
     "utilization": (len(FIG10_SCHEMES), "Fig. 11: utilization by layer"),
+    "workload": (
+        len(MATRIX_SCHEMES) * len(MATRIX_LOADS),
+        "workload matrix: empirical flow sizes, open-loop arrivals, "
+        "FCT/queue-depth by load 0.1-0.9",
+    ),
+    "incast": (
+        len(MATRIX_SCHEMES) * len(SWEEP_FAN_INS),
+        "incast sweep: partition-aggregate fan-in vs JCT and goodput "
+        "collapse",
+    ),
     "export": (1, "run one fat-tree scenario and dump JSON/CSV artifacts"),
     "validate": (
-        4,
+        6,
         "run the golden-trace scenarios under the invariant checker "
         "(--bless regenerates goldens)",
     ),
@@ -175,6 +197,45 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("rtt", "utilization"):
             p.add_argument("--pattern", default="permutation")
         _add_runner_options(p)
+
+    p = sub.add_parser("workload", help=EXPERIMENT_INFO["workload"][1])
+    p.add_argument("--workload", default="websearch", choices=WORKLOAD_NAMES,
+                   help="flow-size distribution (default: websearch)")
+    p.add_argument("--arrival", default="poisson", choices=ARRIVAL_NAMES,
+                   help="interarrival process (default: poisson)")
+    p.add_argument("--loads", nargs="+", type=float,
+                   default=list(MATRIX_LOADS), metavar="LOAD",
+                   help="offered loads as a fraction of fabric capacity "
+                        "(default: 0.1 .. 0.9)")
+    p.add_argument("--schemes", nargs="+", metavar="SCHEME[-N]",
+                   default=[f"{s}-{n}" for s, n in MATRIX_SCHEMES],
+                   help="schemes with subflow counts, e.g. xmp-2 dctcp "
+                        "lia-2 (default: xmp-2 dctcp-1 lia-2)")
+    p.add_argument("--duration", type=float, default=0.1)
+    p.add_argument("--size-scale", type=float, default=1.0,
+                   help="multiplier on sampled flow sizes")
+    p.add_argument("--elephants", type=int, default=0,
+                   help="long-lived background bulk flows")
+    p.add_argument("--k", type=int, default=4, help="fat-tree arity")
+    p.add_argument("--seed", type=int, default=1)
+    _add_runner_options(p)
+
+    p = sub.add_parser("incast", help=EXPERIMENT_INFO["incast"][1])
+    p.add_argument("--fan-ins", nargs="+", type=int,
+                   default=list(SWEEP_FAN_INS), metavar="N",
+                   help="workers per partition-aggregate round "
+                        "(default: 2 4 8 12)")
+    p.add_argument("--schemes", nargs="+", metavar="SCHEME[-N]",
+                   default=[f"{s}-{n}" for s, n in MATRIX_SCHEMES],
+                   help="response-flow schemes, e.g. xmp-2 dctcp lia-2")
+    p.add_argument("--response-bytes", type=int, default=64_000,
+                   help="bytes each worker sends back (default: 64000)")
+    p.add_argument("--concurrent", type=int, default=4,
+                   help="partition-aggregate jobs in flight at once")
+    p.add_argument("--duration", type=float, default=0.1)
+    p.add_argument("--k", type=int, default=4, help="fat-tree arity")
+    p.add_argument("--seed", type=int, default=1)
+    _add_runner_options(p)
 
     p = sub.add_parser(
         "lint",
@@ -391,6 +452,39 @@ def _run_utilization(args) -> str:
     return result.format() + _epilogue(args, result.campaign)
 
 
+def _run_workload(args) -> str:
+    base = WorkloadScenario(
+        workload=args.workload,
+        arrival=args.arrival,
+        duration=args.duration,
+        size_scale=args.size_scale,
+        background_elephants=args.elephants,
+        k=args.k,
+        seed=args.seed,
+    )
+    schemes = tuple(parse_scheme_spec(s) for s in args.schemes)
+    result = run_workload_matrix(
+        base, schemes=schemes, loads=tuple(args.loads), **_campaign_kwargs(args)
+    )
+    return result.format() + _epilogue(args, result.campaign)
+
+
+def _run_incast(args) -> str:
+    base = IncastSweepScenario(
+        response_bytes=args.response_bytes,
+        concurrent_jobs=args.concurrent,
+        duration=args.duration,
+        k=args.k,
+        seed=args.seed,
+    )
+    schemes = tuple(parse_scheme_spec(s) for s in args.schemes)
+    result = run_incast_sweep(
+        base, schemes=schemes, fan_ins=tuple(args.fan_ins),
+        **_campaign_kwargs(args)
+    )
+    return result.format() + _epilogue(args, result.campaign)
+
+
 def _run_export(args) -> str:
     from repro.experiments.export import (
         export_campaign_metrics,
@@ -481,6 +575,8 @@ _RUNNERS = {
     "jct": _run_jct,
     "rtt": _run_rtt,
     "utilization": _run_utilization,
+    "workload": _run_workload,
+    "incast": _run_incast,
     "export": _run_export,
     "validate": _run_validate,
     "profile": _run_profile,

@@ -7,6 +7,8 @@
 * :mod:`repro.metrics.goodput` — flow records and goodput aggregation
   (Table 1/2, Fig. 8).
 * :mod:`repro.metrics.utilization` — per-layer link utilization (Fig. 11).
+* :mod:`repro.metrics.fct` — FCT-by-size-bin, 99p queue depth and
+  incast goodput-collapse reducers for the workload matrix.
 """
 
 from repro.metrics.stats import cdf_points, mean, percentile, summarize
@@ -15,8 +17,20 @@ from repro.metrics.collector import QueueMonitor, RateSampler, RttSampler
 from repro.metrics.trace import FlowTracer, rate_series_to_csv
 from repro.metrics.goodput import FlowRecord, goodput_table
 from repro.metrics.utilization import utilization_by_layer
+from repro.metrics.fct import (
+    check_fct_invariants,
+    fct_by_size_bin,
+    fct_summary,
+    goodput_collapse_ratio,
+    queue_depth_p99,
+)
 
 __all__ = [
+    "check_fct_invariants",
+    "fct_by_size_bin",
+    "fct_summary",
+    "goodput_collapse_ratio",
+    "queue_depth_p99",
     "cdf_points",
     "mean",
     "percentile",

@@ -17,17 +17,43 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile, ``q`` in [0, 100].
+#: The locked percentile interpolation.  Every number this repo reports
+#: (EXPERIMENTS.md tables, golden digests, workload FCT/queue-depth
+#: percentiles) uses this method; changing it is a reportable behaviour
+#: change, not a refactor.
+PERCENTILE_METHOD = "linear"
 
-    Matches numpy's default ("linear") method so results are comparable
-    with common plotting pipelines.
+
+def percentile(values: Sequence[float], q: float, method: str = PERCENTILE_METHOD) -> float:
+    """Percentile of ``values``, ``q`` in [0, 100].
+
+    The default (and locked — see :data:`PERCENTILE_METHOD`) method is
+    **linear**: rank ``(n - 1) * q / 100`` with linear interpolation
+    between the two bracketing order statistics.  It matches numpy's
+    default ("linear" / Hyndman-Fan type 7), so results are comparable
+    with common plotting pipelines, and it is exact on ties (a run of
+    equal values brackets to itself).
+
+    ``method="nearest-rank"`` is available for cross-checks against
+    textbook definitions (ceil(n * q / 100)-th order statistic, the
+    Hyndman-Fan type 1 / classic "p99 is an observed sample" rule); it
+    is deliberately *not* the default — reported numbers must all come
+    from one method, locked by ``test_metrics.py::TestPercentileLock``.
     """
     if not values:
         raise ValueError("percentile of empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")
     ordered = sorted(values)
+    if method == "nearest-rank":
+        if q == 0.0:
+            return ordered[0]
+        rank_index = math.ceil(len(ordered) * q / 100.0) - 1
+        return ordered[min(rank_index, len(ordered) - 1)]
+    if method != "linear":
+        raise ValueError(
+            f"unknown percentile method {method!r} (known: linear, nearest-rank)"
+        )
     if len(ordered) == 1:
         return ordered[0]
     rank = (len(ordered) - 1) * q / 100.0
@@ -74,4 +100,11 @@ def stddev(values: Sequence[float]) -> float:
     return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
 
 
-__all__ = ["mean", "percentile", "cdf_points", "summarize", "stddev"]
+__all__ = [
+    "PERCENTILE_METHOD",
+    "mean",
+    "percentile",
+    "cdf_points",
+    "summarize",
+    "stddev",
+]

@@ -138,6 +138,8 @@ register_kind("fig1", "repro.experiments.fig1_convergence", "_simulate")
 register_kind("fig4", "repro.experiments.fig4_traffic_shifting", "_simulate")
 register_kind("fig6", "repro.experiments.fig6_fairness", "_simulate")
 register_kind("fig7", "repro.experiments.fig7_rate_compensation", "_simulate")
+register_kind("workload", "repro.experiments.workload_matrix", "_simulate_workload")
+register_kind("incast_sweep", "repro.experiments.workload_matrix", "_simulate_incast")
 
 
 __all__ = [

@@ -32,6 +32,19 @@ class FatTreeNetwork(Network):
         super().__init__()
         self.k = 0
         self.host_names: List[str] = []
+        #: Per-port rate; set by :func:`build_fattree` (paper: 1 Gbps).
+        self.link_rate_bps: BitsPerSecond = 0.0
+
+    def bisection_bandwidth_bps(self) -> BitsPerSecond:
+        """Full bisection bandwidth of the rearrangeably non-blocking tree.
+
+        A k-ary fat tree hosts ``k^3/4`` machines and can carry half of
+        them sending full-rate across the bisection: ``(k^3/8) * rate``.
+        The workload layer's load calibration
+        (:func:`repro.workloads.arrivals.workload_capacity_bps`) doubles
+        this back to the aggregate host access bandwidth.
+        """
+        return (self.k ** 3 / 8.0) * self.link_rate_bps
 
     @staticmethod
     def parse_host(name: str) -> Tuple[int, int, int]:
@@ -72,6 +85,7 @@ def build_fattree(
         raise ValueError(f"k must be an even integer >= 2, got {k}")
     net = FatTreeNetwork()
     net.k = k
+    net.link_rate_bps = link_rate_bps
     half = k // 2
 
     def queue() -> DropTailQueue:

@@ -41,6 +41,7 @@ class TransferFactory:
         rng: Optional[random.Random] = None,
         rtt_sampler: Optional[RttSampler] = None,
         label: Optional[str] = None,
+        on_launch: Optional[Callable[[MptcpConnection], None]] = None,
     ) -> None:
         if subflow_count < 1:
             raise ValueError(f"subflow_count must be >= 1, got {subflow_count}")
@@ -52,6 +53,11 @@ class TransferFactory:
         self.initial_cwnd = initial_cwnd
         self.rng = rng if rng is not None else random.Random(0)
         self.rtt_sampler = rtt_sampler
+        #: Flow-lifecycle hook: called with each connection as it starts
+        #: (completion already flows through per-launch ``on_complete``
+        #: callbacks and ``self.records``).  Workload patterns use the
+        #: pair as the start/completion event seam for FCT accounting.
+        self.on_launch = on_launch
         #: Name used in reports: e.g. "XMP-2", "LIA-4", "DCTCP".
         self.label = label if label is not None else self._default_label()
         self.records: List[FlowRecord] = []
@@ -127,6 +133,8 @@ class TransferFactory:
                 self.rtt_sampler.watch(category, subflow.sender)
         self.active.append(connection)
         connection.start()
+        if self.on_launch is not None:
+            self.on_launch(connection)
         return connection
 
     # ------------------------------------------------------------------

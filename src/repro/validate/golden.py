@@ -238,6 +238,52 @@ def digest_fattree(result: Any) -> Dict[str, Any]:
     }
 
 
+def digest_workload(result: Any) -> Dict[str, Any]:
+    """Digest of a :class:`~repro.experiments.workload_matrix.WorkloadResult`.
+
+    Pins the schedule (arrival count, offered bytes), the FCT-by-bin
+    table and the per-layer 99p queue depths — the exact numbers the
+    workload matrix reports — so a drift in the samplers, the open-loop
+    launcher or the reducers trips the golden.
+    """
+    return {
+        "events": result.events,
+        "duration": result.duration,
+        "scheduled_flows": result.scheduled_flows,
+        "launched_flows": result.launched_flows,
+        "offered_bytes": result.offered_bytes,
+        "flows_completed": len(result.records),
+        "flows_unfinished": len(result.unfinished),
+        "achieved_load": result.achieved_load(),
+        "fct_by_bin": result.fct_table(),
+        "queue_p99": {
+            layer: result.queue_p99(layer) for layer in sorted(result.queue_samples)
+        },
+        "total_marked": result.total_marked,
+        "total_dropped": result.total_dropped,
+    }
+
+
+def digest_incast_sweep(result: Any) -> Dict[str, Any]:
+    """Digest of an :class:`~repro.experiments.workload_matrix.IncastSweepResult`."""
+    jcts = result.jcts
+    return {
+        "events": result.events,
+        "duration": result.duration,
+        "jobs_started": result.jobs_started,
+        "jobs_completed": len(jcts),
+        "jct_mean_s": (sum(jcts) / len(jcts)) if jcts else 0.0,
+        "collapse_ratio": result.collapse_ratio(),
+        "responses_completed": len(result.responses),
+        "response_fct": result.response_fct(),
+        "queue_p99": {
+            layer: result.queue_p99(layer) for layer in sorted(result.queue_samples)
+        },
+        "total_marked": result.total_marked,
+        "total_dropped": result.total_dropped,
+    }
+
+
 def digest_hash(digest: Dict[str, Any]) -> str:
     """A short content hash of a digest (determinism smoke tests)."""
     import hashlib
@@ -259,5 +305,7 @@ __all__ = [
     "digest_connection",
     "digest_bottleneck_run",
     "digest_fattree",
+    "digest_workload",
+    "digest_incast_sweep",
     "digest_hash",
 ]

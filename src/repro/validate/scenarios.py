@@ -13,7 +13,13 @@ the mechanism stack:
 * ``fattree-xmp-permutation`` — a short k=4 fat-tree permutation cell:
   multipath routing, many queues, the full experiment pipeline;
 * ``fattree-incast`` — the incast workload: small TCP jobs over XMP
-  background traffic, RTO-dominated dynamics.
+  background traffic, RTO-dominated dynamics;
+* ``workload-websearch`` — one open-loop websearch cell at load 0.4:
+  the empirical size sampler, Poisson arrivals, the flow-lifecycle seam
+  and the FCT/queue-depth reducers (``repro.workloads`` end to end);
+* ``incast-fanin8`` — one partition-aggregate fan-in-8 cell: request
+  fan-out, scheme-under-test responses, JCT and collapse-ratio
+  accounting.
 
 Every scenario runs with a fresh :class:`~repro.validate.invariants.Validator`
 active, so golden runs double as invariant runs: a scenario whose digest
@@ -24,7 +30,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Tuple
 
-from repro.validate.golden import digest_bottleneck_run, digest_fattree
+from repro.validate.golden import (
+    digest_bottleneck_run,
+    digest_fattree,
+    digest_incast_sweep,
+    digest_workload,
+)
 from repro.validate.hooks import validating
 from repro.validate.invariants import Validator
 
@@ -83,6 +94,31 @@ def _fattree(pattern: str, beta: float = 4.0, duration: float = 0.02) -> Dict[st
     return digest_fattree(_simulate(scenario))
 
 
+def _workload_websearch(load: float = 0.4, duration: float = 0.02) -> Dict[str, Any]:
+    from repro.experiments.workload_matrix import (
+        WorkloadScenario,
+        _simulate_workload,
+    )
+
+    scenario = WorkloadScenario(
+        scheme="xmp", subflows=2, workload="websearch", load=load,
+        duration=duration, k=4, seed=1,
+    )
+    return digest_workload(_simulate_workload(scenario))
+
+
+def _incast_fanin(fan_in: int = 8, duration: float = 0.02) -> Dict[str, Any]:
+    from repro.experiments.workload_matrix import (
+        IncastSweepScenario,
+        _simulate_incast,
+    )
+
+    scenario = IncastSweepScenario(
+        scheme="xmp", subflows=2, fan_in=fan_in, duration=duration, k=4, seed=1
+    )
+    return digest_incast_sweep(_simulate_incast(scenario))
+
+
 #: Name -> zero-argument scenario function.  Ordered; names are the
 #: golden file names under ``src/repro/validate/goldens/``.
 SCENARIOS: Dict[str, ScenarioFn] = {
@@ -90,12 +126,16 @@ SCENARIOS: Dict[str, ScenarioFn] = {
     "bottleneck-mixed": _bottleneck_mixed,
     "fattree-xmp-permutation": lambda: _fattree("permutation"),
     "fattree-incast": lambda: _fattree("incast"),
+    "workload-websearch": _workload_websearch,
+    "incast-fanin8": _incast_fanin,
 }
 
 #: Builders tests use to perturb one constant and assert the digest moves.
 PERTURBABLE: Dict[str, ScenarioFn] = {
     "bottleneck-xmp": _bottleneck_xmp,
     "fattree-xmp-permutation": lambda **kw: _fattree("permutation", **kw),
+    "workload-websearch": _workload_websearch,
+    "incast-fanin8": _incast_fanin,
 }
 
 

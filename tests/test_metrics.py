@@ -12,7 +12,14 @@ from repro.metrics.goodput import (
     goodput_table,
     goodputs_bps,
 )
-from repro.metrics.stats import cdf_points, mean, percentile, stddev, summarize
+from repro.metrics.stats import (
+    PERCENTILE_METHOD,
+    cdf_points,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+)
 
 
 class TestPercentile:
@@ -55,6 +62,46 @@ class TestPercentile:
             assert percentile(data, q) == pytest.approx(
                 float(numpy.percentile(data, q))
             )
+
+
+class TestPercentileLock:
+    """The repo-wide percentile interpolation is locked to 'linear'.
+
+    Every reported number (EXPERIMENTS.md tables, golden digests, the
+    workload FCT/queue-depth matrix) flows through the default method;
+    flipping it silently would shift p99s without any code "bug".  If
+    this class fails, either restore the default or treat the change as
+    a reportable behaviour change: re-bless the goldens and update the
+    stats docstring and EXPERIMENTS.md together.
+    """
+
+    def test_locked_method_is_linear(self):
+        assert PERCENTILE_METHOD == "linear"
+
+    def test_default_call_uses_locked_method(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 50) == percentile(data, 50, method="linear")
+        # The linear signature: interpolated median, not an observed
+        # sample.  nearest-rank would return 2.0 here.
+        assert percentile(data, 50) == 2.5
+
+    def test_nearest_rank_differs_and_is_an_observed_sample(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 50, method="nearest-rank") == 2.0
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 99, method="nearest-rank") == 99.0
+        assert percentile(values, 99) == pytest.approx(99.01)
+        assert percentile(data, 0, method="nearest-rank") == 1.0
+        assert percentile(data, 100, method="nearest-rank") == 4.0
+
+    def test_nearest_rank_always_in_sample(self):
+        data = [0.7, 1.9, 3.1, 4.2, 8.8]
+        for q in (1, 10, 33, 50, 75, 99):
+            assert percentile(data, q, method="nearest-rank") in data
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown percentile method"):
+            percentile([1.0], 50, method="hazen")
 
 
 class TestCdfAndSummary:

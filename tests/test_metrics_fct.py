@@ -1,0 +1,176 @@
+"""FCT/queue-depth/collapse reducers against hand-computed fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.fct import (
+    DEFAULT_BIN_EDGES,
+    DEFAULT_BIN_LABELS,
+    check_fct_invariants,
+    completion_times,
+    fct_by_size_bin,
+    fct_summary,
+    goodput_collapse_ratio,
+    queue_depth_p99,
+    size_bin_label,
+)
+from repro.metrics.goodput import FlowRecord
+
+
+def record(size_bytes, start, complete, flow_id=0):
+    return FlowRecord(
+        flow_id=flow_id,
+        scheme="XMP-2",
+        src="h_0_0_0",
+        dst="h_1_0_0",
+        category="inter-pod",
+        size_bytes=size_bytes,
+        start_time=start,
+        complete_time=complete,
+        delivered_bytes=size_bytes,
+    )
+
+
+class TestSizeBins:
+    def test_edges_are_inclusive_upper_bounds(self):
+        assert size_bin_label(1) == "mice"
+        assert size_bin_label(100_000) == "mice"
+        assert size_bin_label(100_001) == "medium"
+        assert size_bin_label(10_000_000) == "medium"
+        assert size_bin_label(10_000_001) == "elephant"
+
+    def test_custom_edges(self):
+        assert size_bin_label(5, edges=(10,), labels=("s", "l")) == "s"
+        assert size_bin_label(11, edges=(10,), labels=("s", "l")) == "l"
+
+    def test_label_count_must_match(self):
+        with pytest.raises(ValueError, match="labels"):
+            size_bin_label(1, edges=(10, 20), labels=("a", "b"))
+
+
+class TestFctBySizeBin:
+    def test_hand_computed_fixture(self):
+        # Five mice with FCTs 1..5 ms and one elephant at 80 ms.
+        records = [
+            record(10_000, 0.0, 0.001 * (i + 1), flow_id=i) for i in range(5)
+        ]
+        records.append(record(20_000_000, 0.1, 0.18, flow_id=9))
+        table = fct_by_size_bin(records)
+        mice = table["mice"]
+        assert mice["count"] == 5.0
+        assert mice["mean_s"] == pytest.approx(0.003)
+        assert mice["p50_s"] == pytest.approx(0.003)
+        # linear p99 over [1..5] ms: rank 3.96 -> 4 ms + 0.96 * 1 ms.
+        assert mice["p99_s"] == pytest.approx(0.00496)
+        assert table["elephant"]["count"] == 1.0
+        assert table["elephant"]["p99_s"] == pytest.approx(0.08)
+
+    def test_p99_with_ties_is_the_tied_value(self):
+        records = [record(1_000, 0.0, 0.002, flow_id=i) for i in range(10)]
+        table = fct_by_size_bin(records)
+        assert table["mice"]["p99_s"] == pytest.approx(0.002)
+        assert table["mice"]["p50_s"] == pytest.approx(0.002)
+
+    def test_empty_bins_keep_table_shape(self):
+        records = [record(1_000, 0.0, 0.001)]
+        table = fct_by_size_bin(records)
+        assert set(table) == set(DEFAULT_BIN_LABELS)
+        assert table["medium"] == {
+            "count": 0.0, "mean_s": 0.0, "p50_s": 0.0, "p99_s": 0.0
+        }
+        assert table["elephant"]["count"] == 0.0
+
+    def test_no_records_at_all(self):
+        table = fct_by_size_bin([])
+        assert all(table[label]["count"] == 0.0 for label in DEFAULT_BIN_LABELS)
+
+    def test_unfinished_records_excluded(self):
+        records = [
+            record(1_000, 0.0, 0.001),
+            record(1_000, 0.0, None),
+        ]
+        assert fct_by_size_bin(records)["mice"]["count"] == 1.0
+        assert completion_times(records) == [pytest.approx(0.001)]
+
+    def test_bin_edges_route_sizes(self):
+        records = [
+            record(DEFAULT_BIN_EDGES[0], 0.0, 0.001),
+            record(DEFAULT_BIN_EDGES[0] + 1, 0.0, 0.002),
+        ]
+        table = fct_by_size_bin(records)
+        assert table["mice"]["count"] == 1.0
+        assert table["medium"]["count"] == 1.0
+
+
+class TestQueueDepth:
+    def test_empty_is_zero(self):
+        assert queue_depth_p99([]) == 0.0
+
+    def test_hand_computed_p99(self):
+        # 99 samples of 5 and one of 50: linear rank 98.01 interpolates
+        # between the last 5 and the 50.
+        samples = [5] * 99 + [50]
+        assert queue_depth_p99(samples) == pytest.approx(5.45)
+
+    def test_constant_samples(self):
+        assert queue_depth_p99([7] * 20) == 7.0
+
+
+class TestCollapseRatio:
+    RATE = 1e9
+
+    def test_hand_computed(self):
+        ideal = 8 * 64_000 * 8.0 / self.RATE  # 4.096 ms
+        ratio = goodput_collapse_ratio(
+            [ideal, 2 * ideal], 8, 64_000, self.RATE
+        )
+        assert ratio == pytest.approx(0.75)
+
+    def test_capped_at_one(self):
+        ideal = 8 * 64_000 * 8.0 / self.RATE
+        # A JCT faster than "ideal" (same-rack shortcut) must not push
+        # the ratio above 1.
+        assert goodput_collapse_ratio([ideal / 2], 8, 64_000, self.RATE) == 1.0
+
+    def test_empty_jcts(self):
+        assert goodput_collapse_ratio([], 8, 64_000, self.RATE) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            goodput_collapse_ratio([0.01], 0, 64_000, self.RATE)
+        with pytest.raises(ValueError):
+            goodput_collapse_ratio([0.01], 8, 0, self.RATE)
+        with pytest.raises(ValueError):
+            goodput_collapse_ratio([0.01], 8, 64_000, 0.0)
+
+
+class TestFctInvariants:
+    def test_ok_records_return_count(self):
+        records = [record(1_000, 0.0, 0.01), record(1_000, 0.0, None)]
+        assert check_fct_invariants(records, duration=0.1) == 1
+
+    def test_non_positive_fct_raises(self):
+        with pytest.raises(ValueError, match="non-positive FCT"):
+            check_fct_invariants([record(1_000, 0.01, 0.01)], duration=0.1)
+        with pytest.raises(ValueError, match="non-positive FCT"):
+            check_fct_invariants([record(1_000, 0.02, 0.01)], duration=0.1)
+
+    def test_fct_beyond_horizon_raises(self):
+        with pytest.raises(ValueError, match="exceeds simulation horizon"):
+            check_fct_invariants([record(1_000, 0.0, 0.2)], duration=0.1)
+
+    def test_context_lands_in_message(self):
+        with pytest.raises(ValueError, match="XMP/websearch@0.4"):
+            check_fct_invariants(
+                [record(1_000, 0.01, 0.01)], duration=0.1,
+                context="XMP/websearch@0.4",
+            )
+
+    def test_fct_summary_checks_when_given_duration(self):
+        assert fct_summary([], duration=0.1)["count"] == 0.0
+        summary = fct_summary([record(1_000, 0.0, 0.01)], duration=0.1)
+        assert summary["count"] == 1.0
+        assert summary["mean_s"] == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            fct_summary([record(1_000, 0.0, 0.2)], duration=0.1)
