@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
-# Repo check: lint (ruff if installed, simlint + simsem always, mypy if
-# installed) + the tier-1 test suite, which includes the runtime-invariant /
-# golden-trace tests (-m invariants), the simlint self-checks (-m simlint)
-# and the simsem cross-module-analysis suite (-m simsem).
+# Repo check: lint (ruff if installed, simlint + simsem + simrace always,
+# mypy if installed) + the tier-1 test suite, which includes the
+# runtime-invariant / golden-trace tests (-m invariants), the simlint
+# self-checks (-m simlint), the simsem cross-module-analysis suite
+# (-m simsem) and the simrace detector suite (-m simrace).
 #
 #   scripts/check.sh               # everything
-#   scripts/check.sh --lint        # ruff (if installed) + simlint + simsem + mypy (if installed)
+#   scripts/check.sh --lint        # ruff (if installed) + simlint + simsem + simrace + mypy (if installed)
 #   scripts/check.sh --simlint     # simlint only (syntactic, per file)
 #   scripts/check.sh --sem         # simsem only (cross-module semantic pass)
+#   scripts/check.sh --race        # simrace only (static race pass + sanitizer smoke)
 #   scripts/check.sh --tests       # tests only
 #   scripts/check.sh --invariants  # invariant + golden-trace suite only
 #   scripts/check.sh --bench       # engine bench vs BENCH_engine.json (>30% drop fails)
 #
 # ruff and mypy are optional: their configs live in pyproject.toml, but
-# the check degrades gracefully on machines without them.  simlint and
-# simsem are NOT optional — both are pure stdlib (repro.lint), so there
-# is never a reason to skip them; every lint-running mode runs both.
+# the check degrades gracefully on machines without them.  simlint,
+# simsem and simrace are NOT optional — all are pure stdlib
+# (repro.lint), so there is never a reason to skip them; every
+# lint-running mode runs all three.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,17 +30,19 @@ run_lint=1
 run_tests=1
 run_simlint_only=0
 run_sem_only=0
+run_race_only=0
 run_invariants_only=0
 run_bench_only=0
 case "${1:-}" in
     --lint) run_tests=0 ;;
     --simlint) run_tests=0; run_lint=0; run_simlint_only=1 ;;
     --sem) run_tests=0; run_lint=0; run_sem_only=1 ;;
+    --race) run_tests=0; run_lint=0; run_race_only=1 ;;
     --tests) run_lint=0 ;;
     --invariants) run_lint=0; run_invariants_only=1 ;;
     --bench) run_lint=0; run_tests=0; run_bench_only=1 ;;
     "") ;;
-    *) echo "usage: scripts/check.sh [--lint|--simlint|--sem|--tests|--invariants|--bench]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--lint|--simlint|--sem|--race|--tests|--invariants|--bench]" >&2; exit 2 ;;
 esac
 
 simlint() {
@@ -51,6 +56,20 @@ simsem() {
     echo "== simsem (python -m repro.lint --sem, semantic pass) =="
     PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint --sem \
         --select SIM011,SIM012,SIM013,SIM014,SIM015 src/repro
+}
+
+simrace() {
+    # The same-instant race detector, both sides: the static pass over
+    # the whole tree, then the runtime sanitizer on one bottleneck
+    # golden and one incast cell, cross-checked against the checked-in
+    # digests (the sanitizer must observe without perturbing).  The
+    # report path can be overridden for CI artifact upload.
+    echo "== simrace (python -m repro.lint --race, static pass) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint --race \
+        --select SIM016,SIM017,SIM018 src/repro
+    echo "== simrace sanitizer smoke (python -m repro.lint.race) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint.race \
+        --out "${REPRO_RACE_REPORT:-race-report.jsonl}"
 }
 
 # Compiled bytecode must never be tracked (it is machine/version
@@ -74,6 +93,10 @@ if [ "$run_sem_only" = 1 ]; then
     simsem
 fi
 
+if [ "$run_race_only" = 1 ]; then
+    simrace
+fi
+
 if [ "$run_lint" = 1 ]; then
     if command -v ruff > /dev/null 2>&1; then
         echo "== ruff =="
@@ -83,6 +106,7 @@ if [ "$run_lint" = 1 ]; then
     fi
     simlint
     simsem
+    simrace
     if command -v mypy > /dev/null 2>&1; then
         echo "== mypy =="
         mypy

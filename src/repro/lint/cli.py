@@ -4,12 +4,19 @@ Exit codes: 0 clean, 1 findings remain, 2 usage error.  ``--fix``
 applies the mechanically safe fixes in place and reports what is left.
 
 ``--sem`` additionally runs simsem, the cross-module semantic pass
-(SIM011–SIM015, see :mod:`repro.lint.sem`): unit-dimension dataflow
-against the sink registry, seed provenance, observer-hook conformance
-and handler reachability.  Its per-file summaries are cached under
-``--sem-cache`` (content-addressed; safe to persist across runs and in
-CI), and ``--baseline`` ratchets legacy findings so new code is held to
-zero while old findings burn down.
+(SIM011–SIM015, see :mod:`repro.lint.sem`); ``--race`` additionally
+runs simrace, the same-instant race pass (SIM016–SIM018, see
+:mod:`repro.lint.race`).  Both share one whole-program summary pass, so
+``--sem --race`` costs a single analysis.  Per-file summaries are
+cached under ``--sem-cache`` (content-addressed; safe to persist across
+runs and in CI), and ``--baseline`` ratchets legacy findings so new
+code is held to zero while old findings burn down.
+
+``--changed-only`` narrows the per-file rules (SIM001–SIM010) to files
+git reports as changed against HEAD; the whole-program passes still
+analyze the full tree — cross-module properties are only meaningful on
+whole trees.  ``--format sarif`` emits SARIF 2.1.0 covering every pass,
+for CI upload.
 """
 
 from __future__ import annotations
@@ -17,12 +24,15 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 from typing import List, Optional, Sequence, Set
 
 from repro.lint.core import Analyzer, Finding, Rule, iter_python_files
 from repro.lint.fixes import fix_file
+from repro.lint.race.info import RACE_CODES
 from repro.lint.registry import catalog, known_codes, syntactic_rules
+from repro.lint.sarif import findings_to_sarif
 from repro.lint.sem.baseline import (
     BaselineError,
     apply_baseline,
@@ -58,20 +68,57 @@ def _selected_codes(
     return selected
 
 
+def _project_gate(args: argparse.Namespace) -> Set[str]:
+    """Codes the whole-program pass may report, per the --sem/--race flags."""
+    gate: Set[str] = set()
+    if args.sem:
+        gate.update(SEM_CODES)
+    if args.race:
+        gate.update(RACE_CODES)
+    return gate
+
+
 def _select_rules(
-    selected: Set[str], run_sem: bool, parser: argparse.ArgumentParser
+    selected: Set[str], project_gate: Set[str], parser: argparse.ArgumentParser
 ) -> List[Rule]:
     rules = [rule for rule in syntactic_rules() if rule.code in selected]
-    sem_active = run_sem and any(code in selected for code in SEM_CODES)
-    if not rules and not sem_active:
+    project_active = bool(selected & project_gate)
+    if not rules and not project_active:
         parser.error("--select/--ignore left no rules to run")
     return rules
 
 
+def _changed_files(parser: argparse.ArgumentParser) -> Set[str]:
+    """Absolute paths git reports as changed vs HEAD (plus untracked).
+
+    Both the staged-or-unstaged diff and untracked files count: the
+    point is "what am I editing right now", for fast local iteration.
+    """
+    def _git(*argv: str) -> str:
+        return subprocess.run(
+            ["git", *argv],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+
+    try:
+        top = _git("rev-parse", "--show-toplevel").strip()
+        diffed = _git("diff", "--name-only", "HEAD", "--")
+        untracked = _git("ls-files", "--others", "--exclude-standard", "--")
+    except (OSError, subprocess.CalledProcessError) as exc:
+        parser.error(f"--changed-only requires a git work tree ({exc})")
+    names = set(diffed.splitlines()) | set(untracked.splitlines())
+    return {
+        os.path.abspath(os.path.join(top, name)) for name in names if name
+    }
+
+
 def _rule_listing() -> str:
+    markers = {"semantic": " (--sem)", "race": " (--race)"}
     lines = ["simlint rules (see LINTING.md for the full catalog):"]
     for entry in catalog():
-        marker = " (--sem)" if entry.kind == "semantic" else ""
+        marker = markers.get(entry.kind, "")
         lines.append(
             f"  {entry.code}  {entry.name:<24} [{entry.severity.value}]{marker}"
         )
@@ -95,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -105,21 +152,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule codes to skip")
     parser.add_argument("--fix", action="store_true",
                         help="apply mechanically safe fixes in place")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="restrict the per-file rules SIM001-SIM010 to "
+                             "files changed vs git HEAD (whole-program "
+                             "passes still see the full tree)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the summary line")
-    sem = parser.add_argument_group("semantic analysis (simsem)")
+    sem = parser.add_argument_group("whole-program analysis (simsem / simrace)")
     sem.add_argument("--sem", action="store_true",
                      help="also run the cross-module semantic pass "
                           "(SIM011-SIM015); analyze whole trees, not "
                           "single files, for full precision")
+    sem.add_argument("--race", action="store_true",
+                     help="also run the same-instant race pass "
+                          "(SIM016-SIM018); shares the summary pass "
+                          "with --sem")
     sem.add_argument("--baseline", metavar="FILE",
                      help="ratchet file: suppress up to the baselined "
-                          "count of semantic findings per (path, code)")
+                          "count of whole-program findings per (path, code)")
     sem.add_argument("--write-baseline", metavar="FILE",
-                     help="write the current semantic findings as the "
-                          "new baseline and exit 0")
+                     help="write the current whole-program findings as "
+                          "the new baseline and exit 0")
     sem.add_argument("--sem-cache", metavar="DIR", default=DEFAULT_CACHE_DIR,
                      help="summary cache directory "
                           f"(default: {DEFAULT_CACHE_DIR})")
@@ -134,8 +189,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_rule_listing())
         return 0
-    if (args.baseline or args.write_baseline) and not args.sem:
-        parser.error("--baseline/--write-baseline require --sem")
+    if (args.baseline or args.write_baseline) and not (args.sem or args.race):
+        parser.error("--baseline/--write-baseline require --sem or --race")
     paths = list(args.paths)
     if not paths:
         if os.path.isdir(DEFAULT_TARGET):
@@ -146,9 +201,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "does not exist here"
             )
     selected = _selected_codes(args, parser)
-    analyzer = Analyzer(rules=_select_rules(selected, args.sem, parser))
+    project_gate = _project_gate(args)
+    analyzer = Analyzer(rules=_select_rules(selected, project_gate, parser))
 
     files = list(iter_python_files(paths))
+    if args.changed_only:
+        changed = _changed_files(parser)
+        files = [
+            path for path in files if os.path.abspath(str(path)) in changed
+        ]
     findings: List[Finding] = []
     fixed_total = 0
     for path in files:
@@ -160,15 +221,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             findings.extend(analyzer.lint_file(path))
 
     sem_stats = None
-    if args.sem:
+    if project_gate:
         cache = None
         if not args.no_sem_cache:
             cache = SummaryCache(args.sem_cache)
-        project = ProjectAnalyzer(cache=cache)
+        project = ProjectAnalyzer(cache=cache, race=args.race)
         sem_findings = [
             f
             for f in project.analyze_paths(paths)
-            if f.code in selected or f.code == "SIM000"
+            if (f.code in selected and f.code in project_gate)
+            or f.code == "SIM000"
         ]
         sem_stats = project.stats
         if args.write_baseline:
@@ -198,6 +260,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if sem_stats is not None:
             payload["sem"] = sem_stats.as_dict()
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(findings_to_sarif(findings), indent=2))
     else:
         for finding in findings:
             print(finding.format())

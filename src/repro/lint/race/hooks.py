@@ -1,0 +1,113 @@
+"""The active race-monitor registry: how the sanitizer is switched on.
+
+Identical contract to :mod:`repro.validate.hooks` / :mod:`repro.obs.hooks`:
+this module is deliberately dependency-free (the monitor class itself is
+imported lazily) so :class:`repro.net.Network` can consult it at
+construction time without import cycles, and the engine's hot loop pays
+exactly one aliased ``is None`` branch when no monitor is attached.
+
+Activation paths:
+
+* explicitly, via :func:`activate` or the :func:`race_monitoring`
+  context manager (what the tests and ``python -m repro.lint.race`` use);
+* ambiently, via ``REPRO_RACE=1`` in the environment: the first
+  :func:`active_race_monitor` call lazily creates one shared
+  process-wide monitor (``REPRO_RACE_LOG=<path>`` streams its collision
+  records to JSONL) and every subsequently constructed ``Network``
+  attaches it.  This is how the sanitizer reaches campaign worker
+  processes, which inherit the environment.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker, types only
+    from repro.lint.race.runtime import RaceMonitor
+
+_ENV_RACE = "REPRO_RACE"
+_ENV_RACE_LOG = "REPRO_RACE_LOG"
+
+#: Stack of explicitly active monitors; the top one receives new sims.
+_ACTIVE: List["RaceMonitor"] = []
+
+#: The lazily created environment-requested monitor (shared per process).
+_ENV_MONITOR: Optional["RaceMonitor"] = None
+
+
+def activate(monitor: "RaceMonitor") -> None:
+    """Push ``monitor``: networks constructed from now on attach to it."""
+    _ACTIVE.append(monitor)
+
+
+def deactivate(monitor: Optional["RaceMonitor"] = None) -> None:
+    """Pop the innermost monitor (must match ``monitor`` when given)."""
+    if not _ACTIVE:
+        raise RuntimeError("no race monitor is active")
+    top = _ACTIVE.pop()
+    if monitor is not None and top is not monitor:
+        _ACTIVE.append(top)
+        raise RuntimeError("deactivate() out of order: not the innermost monitor")
+
+
+def race_requested() -> bool:
+    """Whether the same-instant sanitizer should be on for this process."""
+    if _ACTIVE:
+        return True
+    return os.environ.get(_ENV_RACE, "") not in ("", "0")
+
+
+def active_race_monitor() -> Optional["RaceMonitor"]:
+    """The monitor new simulators should attach to, or ``None``.
+
+    Explicit activation wins; otherwise ``REPRO_RACE`` materializes one
+    shared monitor on first use.  Returning ``None`` is the common case
+    and must stay cheap — it is consulted once per ``Network``.
+    """
+    global _ENV_MONITOR
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    if os.environ.get(_ENV_RACE, "") in ("", "0"):
+        return None
+    if _ENV_MONITOR is None:
+        from repro.lint.race.runtime import RaceMonitor
+
+        _ENV_MONITOR = RaceMonitor(
+            log_path=os.environ.get(_ENV_RACE_LOG) or None
+        )
+    return _ENV_MONITOR
+
+
+@contextlib.contextmanager
+def race_monitoring(
+    monitor: Optional["RaceMonitor"] = None,
+) -> Iterator["RaceMonitor"]:
+    """Run a block with an active race monitor.
+
+    Usage::
+
+        with race_monitoring() as monitor:
+            net = build_single_bottleneck(...)
+            net.sim.run(until=0.4)
+        collisions = monitor.collisions
+    """
+    if monitor is None:
+        from repro.lint.race.runtime import RaceMonitor
+
+        monitor = RaceMonitor()
+    activate(monitor)
+    try:
+        yield monitor
+    finally:
+        deactivate(monitor)
+
+
+__all__ = [
+    "activate",
+    "deactivate",
+    "active_race_monitor",
+    "race_monitoring",
+    "race_requested",
+]

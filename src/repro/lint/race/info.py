@@ -1,0 +1,53 @@
+"""Descriptors for the race rules SIM016–SIM018.
+
+Same shape as :mod:`repro.lint.sem.info` (the race pass produces
+findings from whole-program analysis, not per-node rules); the unified
+registry merges these with the syntactic and semantic catalogs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lint.core import Severity
+from repro.lint.sem.info import SemRuleInfo
+
+RACE_RULE_INFOS: Tuple[SemRuleInfo, ...] = (
+    SemRuleInfo(
+        code="SIM016",
+        name="same-instant-write-write",
+        severity=Severity.ERROR,
+        rationale=(
+            "two distinct callbacks scheduled at one instant and equal "
+            "priority both rebind the same component attribute; the "
+            "surviving value depends on insertion order alone, which no "
+            "model code may rely on"
+        ),
+    ),
+    SemRuleInfo(
+        code="SIM017",
+        name="seq-order-dependence",
+        severity=Severity.ERROR,
+        rationale=(
+            "a callback reads an attribute that a same-instant "
+            "equal-priority peer writes; the pair is non-commutative, so "
+            "swapping their insertion order changes the result silently"
+        ),
+    ),
+    SemRuleInfo(
+        code="SIM018",
+        name="unnamed-priority-tier",
+        severity=Severity.WARNING,
+        rationale=(
+            "a periodic (self-rescheduling) callback is scheduled at the "
+            "default or a bare-literal priority: its ticks walk onto "
+            "instants shared with model events, where ordering must be "
+            "named via repro.sim.priorities — the PR 4 sampler-bug shape"
+        ),
+    ),
+)
+
+RACE_CODES: Tuple[str, ...] = tuple(info.code for info in RACE_RULE_INFOS)
+
+
+__all__ = ["RACE_RULE_INFOS", "RACE_CODES"]

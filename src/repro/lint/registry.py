@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List
 
 from repro.lint.core import Rule, Severity
+from repro.lint.race.info import RACE_CODES, RACE_RULE_INFOS
 from repro.lint.rules import RULE_CLASSES, all_rules
 from repro.lint.sem.info import SEM_CODES, SEM_RULE_INFOS
 
@@ -33,7 +34,9 @@ class CatalogEntry:
     name: str
     severity: Severity
     rationale: str
-    kind: str  # "syntactic" (per-file Rule) or "semantic" (whole-program)
+    #: "syntactic" (per-file Rule), "semantic" (simsem whole-program) or
+    #: "race" (simrace whole-program).
+    kind: str
 
 
 def syntactic_rules() -> List[Rule]:
@@ -46,6 +49,7 @@ def known_codes(include_sem: bool = True) -> FrozenSet[str]:
     codes = {cls.code for cls in RULE_CLASSES}
     if include_sem:
         codes.update(SEM_CODES)
+        codes.update(RACE_CODES)
     return frozenset(codes)
 
 
@@ -70,6 +74,16 @@ def catalog() -> List[CatalogEntry]:
             kind="semantic",
         )
         for info in SEM_RULE_INFOS
+    )
+    entries.extend(
+        CatalogEntry(
+            code=info.code,
+            name=info.name,
+            severity=info.severity,
+            rationale=info.rationale,
+            kind="race",
+        )
+        for info in RACE_RULE_INFOS
     )
     entries.sort(key=lambda entry: entry.code)
     return entries

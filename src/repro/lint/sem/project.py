@@ -40,7 +40,7 @@ _SEVERITIES: Dict[str, Severity] = {
 }
 
 #: Module prefixes whose classes play the observer role (SIM014).
-OBSERVER_MODULE_PREFIXES = ("repro.validate", "repro.obs")
+OBSERVER_MODULE_PREFIXES = ("repro.validate", "repro.obs", "repro.lint.race")
 
 _DERIVATION_ROUNDS = 8  # sink-passthrough fixpoint bound (call depth)
 
@@ -148,9 +148,15 @@ class ProjectAnalyzer:
         self,
         registry: Optional[SinkRegistry] = None,
         cache: Optional[SummaryCache] = None,
+        race: bool = False,
     ) -> None:
         self.registry = registry if registry is not None else SinkRegistry.load()
         self.cache = cache
+        #: Also run the simrace join checks (SIM016–SIM018) over the same
+        #: summaries.  Phase 1 is shared either way: the v3 summaries
+        #: always carry the race facts, so enabling this costs only the
+        #: extra join work.
+        self.race = race
         self.stats = SemStats()
 
     # -- phase 1 ----------------------------------------------------------
@@ -205,6 +211,12 @@ class ProjectAnalyzer:
         findings.extend(self._check_sinks(program, sinks))
         findings.extend(self._check_hooks(program))
         findings.extend(self._check_dead_handlers(program))
+        if self.race:
+            # Imported lazily: the race analyzer depends on this module's
+            # summaries but sem-only runs should not pay for it.
+            from repro.lint.race.analyzer import check_races
+
+            findings.extend(check_races(program.summaries))
         findings = self._apply_suppressions(program, findings)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
         return findings

@@ -39,7 +39,10 @@ from repro.sim.units import ANNOTATION_DIMENSIONS, CONSTRUCTOR_DIMENSIONS
 
 #: Bump when the summary schema or extraction logic changes; part of the
 #: cache key, so stale cached summaries can never be replayed.
-SUMMARY_VERSION = 2
+#: v3: per-function self read/write sets, scheduler-call records
+#: (``sched_calls``) and self-receiver call marking, for simrace
+#: (:mod:`repro.lint.race`).
+SUMMARY_VERSION = 3
 
 UNITS_MODULE = "repro.sim.units"
 RANDOM_STREAMS = "repro.sim.random.RandomStreams"
@@ -56,7 +59,15 @@ HANDLER_NAME_RE = re.compile(
 #: local (``obs = self.observer`` before a drain loop) are caught by the
 #: scanner's alias tracking, which maps the local back to the receiver
 #: it was loaded from.
-HOOK_RECEIVERS = frozenset({"observer", "profiler"})
+HOOK_RECEIVERS = frozenset({"observer", "profiler", "race"})
+
+#: Receiver terminals that make a ``.schedule()``/``.post()`` call a
+#: scheduler call (simrace's raw material): ``sim.schedule(...)``,
+#: ``self._sim.post(...)``, ``net.sim.schedule_at(...)``.
+_SIM_RECEIVER_RE = re.compile(r"^_?sim(ulator)?$")
+
+#: Method names that enqueue an event on a simulator receiver.
+_SCHED_METHODS = frozenset({"schedule", "post", "schedule_at"})
 
 #: Roots that make a seed expression nondeterministic across processes
 #: (SIM013): name -> human-readable reason.
@@ -232,6 +243,7 @@ class _FunctionScanner:
         local_returns: Dict[str, str],
         self_attr_dims: Dict[str, str],
         is_method: bool,
+        source: Optional[str] = None,
     ) -> None:
         self.module = module
         self.qname = qname
@@ -243,9 +255,13 @@ class _FunctionScanner:
         self.local_returns = local_returns
         self.self_attr_dims = self_attr_dims
         self.is_method = is_method
+        self.source = source
         self.calls: List[Dict[str, Any]] = []
         self.findings: List[Tuple[str, int, int, str]] = []
         self.hook_calls: List[Dict[str, Any]] = []
+        self.sched_calls: List[Dict[str, Any]] = []
+        self.self_reads: Set[str] = set()
+        self.self_writes: Set[str] = set()
         self.return_dims: List[Optional[str]] = []
         self._env: Dict[str, Dict[str, Any]] = {}
         self._assigned: Set[str] = set()
@@ -529,9 +545,87 @@ class _FunctionScanner:
             return self._hook_aliases.get(expr.id)
         return None
 
+    # -- scheduler calls (simrace's raw material) -------------------------
+
+    @staticmethod
+    def _is_sim_receiver(expr: ast.expr) -> bool:
+        """Whether an expression terminates in a simulator-ish name."""
+        if isinstance(expr, ast.Name):
+            return _SIM_RECEIVER_RE.match(expr.id) is not None
+        if isinstance(expr, ast.Attribute):
+            return _SIM_RECEIVER_RE.match(expr.attr) is not None
+        return False
+
+    def _expr_src(self, expr: ast.expr) -> Optional[str]:
+        if self.source is None:
+            return None
+        segment = ast.get_source_segment(self.source, expr)
+        if segment is None:
+            return None
+        return " ".join(segment.split())
+
+    def _classify_priority(self, call: ast.Call) -> Dict[str, Any]:
+        """Abstract the ``priority=`` argument of a scheduler call.
+
+        ``default`` (omitted), ``literal`` (bare int — unnamed),
+        ``named`` (resolves through the import map to a dotted constant,
+        e.g. ``repro.sim.priorities.SAMPLE``), ``local`` (a module-level
+        constant of this file) or ``unknown`` (never flagged).
+        """
+        expr: Optional[ast.expr] = None
+        for keyword in call.keywords:
+            if keyword.arg == "priority":
+                expr = keyword.value
+        if expr is None:
+            return {"kind": "default"}
+        literal = _numeric_literal(expr)
+        if literal is not None:
+            return {"kind": "literal", "value": int(literal)}
+        dotted = _dotted_name(expr, self.imports)
+        if dotted is not None:
+            return {"kind": "named", "name": dotted}
+        if isinstance(expr, ast.Name) and expr.id in self.module_constants:
+            return {"kind": "local", "name": expr.id}
+        return {"kind": "unknown"}
+
+    @staticmethod
+    def _classify_callback(expr: Optional[ast.expr]) -> Dict[str, Any]:
+        """Abstract the callback argument of a scheduler call."""
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                return {"kind": "self", "method": expr.attr}
+            recv: Optional[str] = None
+            if isinstance(expr.value, ast.Name):
+                recv = expr.value.id
+            elif isinstance(expr.value, ast.Attribute):
+                recv = expr.value.attr
+            return {"kind": "recv", "recv": recv, "method": expr.attr}
+        if isinstance(expr, ast.Name):
+            return {"kind": "func", "name": expr.id}
+        return {"kind": "unknown"}
+
+    def _record_sched_call(self, call: ast.Call) -> None:
+        func = call.func
+        assert isinstance(func, ast.Attribute)
+        line, col = _loc(call)
+        delay_expr = call.args[0] if call.args else None
+        callback_expr = call.args[1] if len(call.args) > 1 else None
+        self.sched_calls.append(
+            {
+                "kind": func.attr,
+                "line": line,
+                "col": col,
+                "delay_src": (
+                    None if delay_expr is None else self._expr_src(delay_expr)
+                ),
+                "priority": self._classify_priority(call),
+                "callback": self._classify_callback(callback_expr),
+            }
+        )
+
     def _record_call(self, call: ast.Call) -> None:
         func = call.func
-        callee: Optional[Dict[str, str]] = None
+        callee: Optional[Dict[str, Any]] = None
         dotted = _dotted_name(func, self.imports)
         if dotted is not None:
             callee = {"kind": "dotted", "name": dotted}
@@ -545,7 +639,13 @@ class _FunctionScanner:
                     {"method": func.attr, "receiver": receiver,
                      "line": line, "col": col}
                 )
+            if func.attr in _SCHED_METHODS and self._is_sim_receiver(
+                func.value
+            ):
+                self._record_sched_call(call)
             callee = {"kind": "attr", "name": func.attr}
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                callee["self"] = True
         if callee is None:
             return
         line, col = _loc(call)
@@ -573,6 +673,14 @@ class _FunctionScanner:
 
     def scan(self) -> None:
         self._collect_env()
+        # ``self.m()`` is a method dispatch, not a data access: keep the
+        # callee attribute out of the read set (the call itself is still
+        # recorded, with a ``self`` flag, for the race closure).
+        dispatch_attrs = {
+            id(node.func)
+            for node in ast.walk(self.node)
+            if isinstance(node, ast.Call)
+        }
         for node in ast.walk(self.node):
             if node is not self.node and isinstance(
                 node, (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -584,6 +692,24 @@ class _FunctionScanner:
             elif isinstance(node, ast.Call):
                 self._check_rng_construction(node)
                 self._record_call(node)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ) and node.value.id == "self" and id(node) not in dispatch_attrs:
+                # Attribute *rebinding* counts as a write; loads (including
+                # the base of a subscript or method call) count as reads.
+                # In-place container mutation is a read of the container —
+                # matching the runtime sanitizer's snapshot-diff semantics.
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    self.self_writes.add(node.attr)
+                else:
+                    self.self_reads.add(node.attr)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Attribute
+            ) and isinstance(node.target.value, ast.Name) and (
+                node.target.value.id == "self"
+            ):
+                # ``self.x += 1`` both reads and rebinds the attribute.
+                self.self_reads.add(node.target.attr)
             elif isinstance(node, ast.Return) and node.value is not None:
                 value = self._eval(node.value)
                 self.return_dims.append(
@@ -801,6 +927,7 @@ def build_summary(path: str, source: str) -> Dict[str, Any]:
             module, qname, node, imports, params,
             _param_dims(node, imports), constants, local_returns,
             attr_dims_by_class.get(class_name or "", {}), is_method,
+            source=source,
         )
         scanner.scan()
         functions[qname] = {
@@ -808,7 +935,11 @@ def build_summary(path: str, source: str) -> Dict[str, Any]:
             "params": params,
             "param_dims": _param_dims(node, imports),
             "is_method": is_method,
+            "class": class_name,
             "calls": scanner.calls,
+            "sched_calls": scanner.sched_calls,
+            "self_reads": sorted(scanner.self_reads),
+            "self_writes": sorted(scanner.self_writes),
         }
         local_findings.extend(
             [code, line, col, message]
@@ -825,7 +956,7 @@ def build_summary(path: str, source: str) -> Dict[str, Any]:
     # module level — rare — are scanned as a pseudo-function).
     module_scanner = _FunctionScanner(
         module, "<module>", tree, imports, [], {}, constants,
-        local_returns, {}, is_method=False,
+        local_returns, {}, is_method=False, source=source,
     )
     for stmt in tree.body:
         if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
@@ -841,7 +972,11 @@ def build_summary(path: str, source: str) -> Dict[str, Any]:
             "params": [],
             "param_dims": {},
             "is_method": False,
+            "class": None,
             "calls": module_scanner.calls,
+            "sched_calls": module_scanner.sched_calls,
+            "self_reads": [],
+            "self_writes": [],
         }
         local_findings.extend(
             [code, line, col, message]

@@ -20,12 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.net.link import Link
 from repro.net.packet import MSS_BYTES
 from repro.sim.engine import Simulator
+from repro.sim.priorities import SAMPLE
 from repro.transport.tcp import TcpSender
 
-#: Event priority for sampling ticks.  Model events use the default
-#: priority 0; anything larger fires after them at the same instant.
-#: The gap leaves room for future between-model-and-sampler layers.
-SAMPLE_PRIORITY = 1_000_000
+#: Event priority for sampling ticks — the ``SAMPLE`` tier of
+#: :mod:`repro.sim.priorities` (kept under its historical name here for
+#: the many call sites that import it from the collector).
+SAMPLE_PRIORITY = SAMPLE
 
 
 class PeriodicSampler:

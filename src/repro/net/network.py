@@ -14,6 +14,7 @@ from repro.net.link import Link
 from repro.net.node import Host, Node, Switch
 from repro.net.queue import DropTailQueue
 from repro.net.routing import Path, enumerate_paths
+from repro.lint.race.hooks import active_race_monitor
 from repro.obs.hooks import active_profiler
 from repro.sim.engine import Simulator
 from repro.sim.units import BitsPerSecond, Seconds
@@ -40,6 +41,9 @@ class Network:
         profiler = active_profiler()
         if profiler is not None:
             profiler.attach(self.sim)
+        race = active_race_monitor()
+        if race is not None:
+            race.attach(self.sim)
 
     # ------------------------------------------------------------------
     # Construction

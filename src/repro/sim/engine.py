@@ -147,6 +147,13 @@ class Simulator:
         #: ``None`` (the default) costs one aliased branch per event and
         #: one per :meth:`schedule` — the <3% zero-cost contract.
         self.profiler: Optional[Any] = None
+        #: Optional same-instant race sanitizer (see :mod:`repro.lint.race`):
+        #: when set, ``race.on_event_fired(time, priority, callback)`` /
+        #: ``race.on_event_settled()`` bracket every fired callback so the
+        #: monitor can diff receiver state within equal-``(time, priority)``
+        #: batches.  Purely observational; ``None`` (the default) keeps the
+        #: leanest loop in play — the same zero-cost contract as above.
+        self.race: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -476,6 +483,7 @@ class Simulator:
         remaining = _INF if max_events is None else max_events
         observer = self.observer
         profiler = self.profiler
+        race = self.race
         # The profiler supplies its own host clock: repro.sim never reads
         # wall time itself (simlint SIM002), it only times on request.
         clock: Optional[Callable[[], float]] = (
@@ -488,7 +496,10 @@ class Simulator:
         # means "run consumed", because nothing else runs inside the try.
         exhausted = False
         try:
-            if observer is None and clock is None and max_events is None:
+            if (
+                observer is None and clock is None and max_events is None
+                and race is None
+            ):
                 # Leanest loop: the default configuration for experiments
                 # (no hooks, no event budget).  Identical semantics minus
                 # the hook calls and the ``remaining`` countdown; keeping
@@ -526,7 +537,7 @@ class Simulator:
                     self._events_processed += 1
                     if self._stopped:
                         break
-            elif observer is None and clock is None:
+            elif observer is None and clock is None and race is None:
                 # Lean loop with an event budget (max_events).
                 while True:
                     i = self._run_i
@@ -594,6 +605,8 @@ class Simulator:
                     self._now = time
                     if observer is not None:
                         observer.on_event(time)
+                    if race is not None:
+                        race.on_event_fired(time, record[1], record[4])
                     if clock is None:
                         record[4](*record[5])
                     else:
@@ -601,6 +614,8 @@ class Simulator:
                         record[4](*record[5])
                         assert profiler is not None
                         profiler.on_fire(record[4], clock() - started)
+                    if race is not None:
+                        race.on_event_settled()
                     self._events_processed += 1
                     if self._stopped:
                         break

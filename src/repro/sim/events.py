@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
 
+from repro.sim.priorities import MODEL
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle breaker, types only
     from repro.sim.engine import Simulator
 
@@ -113,7 +115,7 @@ class Timer:
             if event.time <= deadline:
                 return  # The pending event will re-arm itself on wake-up.
             event.cancel()
-        self._event = self._sim.schedule(delay, self._fire)
+        self._event = self._sim.schedule(delay, self._fire, priority=MODEL)
 
     def restart(self, delay: float) -> None:
         """Alias of :meth:`start`; reads better at call sites that re-arm."""
@@ -131,7 +133,9 @@ class Timer:
         now = self._sim.now
         if deadline > now:
             # Deadline moved later while we were queued; sleep again.
-            self._event = self._sim.schedule(deadline - now, self._fire)
+            self._event = self._sim.schedule(
+                deadline - now, self._fire, priority=MODEL
+            )
             return
         self._deadline = None
         self._callback()

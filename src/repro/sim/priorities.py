@@ -1,0 +1,57 @@
+"""The named event-priority registry.
+
+The engine's total event order is ``(time, priority, seq)``; priority is
+the *only* lever that defines ordering between events sharing an instant
+(``seq`` merely preserves insertion order, which no call site should
+rely on — PR 4's sampler-tick bug was exactly an accidental dependence
+on it).  Every ``schedule()``/``post()`` call site must therefore name
+the tier it fires in, even when that tier is the default ``MODEL``:
+naming is what makes the intent checkable.
+
+simrace (:mod:`repro.lint.race`) keys off this registry: SIM018 flags
+periodic callbacks scheduled at an unnamed (default or bare-literal)
+priority, and resolves ``priority=<name>`` arguments against
+:data:`TIERS` to decide which call sites share an instant's tier.
+
+Tiers (lower fires first within an instant):
+
+``MODEL`` (0)
+    transport, queue, link and application events — the simulated system
+    itself.  Numerically identical to the engine default, so annotating
+    a site with ``priority=MODEL`` can never change an event order.
+``SAMPLE`` (1_000_000)
+    measurement ticks (:mod:`repro.metrics.collector`).  Samplers must
+    observe the *settled* end-of-instant state, never the middle of an
+    ACK burst sharing their timestamp.  The wide gap leaves room for
+    future between-model-and-sampler layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Simulated-system events (the engine default, made nameable).
+MODEL = 0
+
+#: Measurement ticks; fires after every MODEL event at the same instant.
+SAMPLE = 1_000_000
+
+#: Name -> value, the registry simrace resolves ``priority=`` names against.
+TIERS: Dict[str, int] = {
+    "MODEL": MODEL,
+    "SAMPLE": SAMPLE,
+}
+
+#: Dotted module name, for static resolution of imported tier names.
+PRIORITIES_MODULE = "repro.sim.priorities"
+
+
+def tier_name(value: int) -> Optional[str]:
+    """The tier named ``value``, or ``None`` if no tier has that value."""
+    for name, tier_value in TIERS.items():
+        if tier_value == value:
+            return name
+    return None
+
+
+__all__ = ["MODEL", "SAMPLE", "TIERS", "PRIORITIES_MODULE", "tier_name"]

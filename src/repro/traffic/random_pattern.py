@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.sim.priorities import MODEL
 from repro.sim.random import pareto_bounded
 from repro.traffic.factory import TransferFactory
 
@@ -86,7 +87,9 @@ class RandomPattern:
         dst = self._pick_destination(src)
         if dst is None:
             # Everyone saturated; retry shortly rather than deadlocking.
-            self.factory.network.sim.schedule(0.001, self._issue, src)
+            self.factory.network.sim.schedule(
+                0.001, self._issue, src, priority=MODEL
+            )
             return
         size = int(pareto_bounded(self.rng, self.shape, self.mean_bytes, self.max_bytes))
         size = max(size, 1)

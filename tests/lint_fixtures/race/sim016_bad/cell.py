@@ -1,0 +1,18 @@
+# simlint-path: src/repro/fixture_race/s16b/cell.py
+"""Same-instant write-write hazard (SIM016 bad twin)."""
+
+
+class Cell:
+    def __init__(self, sim):
+        self.sim = sim
+        self.state = 0
+
+    def kick(self):
+        self.sim.schedule(0.5, self.set_low)
+        self.sim.schedule(0.5, self.set_high)  # EXPECT: SIM016
+
+    def set_low(self):
+        self.state = 1
+
+    def set_high(self):
+        self.state = 2

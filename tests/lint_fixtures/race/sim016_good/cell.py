@@ -1,0 +1,19 @@
+# simlint-path: src/repro/fixture_race/s16g/cell.py
+"""Same instant, disjoint attributes: no hazard (SIM016 good twin)."""
+
+
+class Cell:
+    def __init__(self, sim):
+        self.sim = sim
+        self.low = 0
+        self.high = 0
+
+    def kick(self):
+        self.sim.schedule(0.5, self.set_low)
+        self.sim.schedule(0.5, self.set_high)
+
+    def set_low(self):
+        self.low = 1
+
+    def set_high(self):
+        self.high = 2

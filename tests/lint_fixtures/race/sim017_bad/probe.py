@@ -1,0 +1,19 @@
+# simlint-path: src/repro/fixture_race/s17b/probe.py
+"""Same-instant read-write ordering dependence (SIM017 bad twin)."""
+
+
+class Probe:
+    def __init__(self, sim):
+        self.sim = sim
+        self.phase = 0
+        self.snapshot = 0
+
+    def arm(self):
+        self.sim.schedule(1.0, self.observe)
+        self.sim.schedule(1.0, self.advance)  # EXPECT: SIM017
+
+    def observe(self):
+        self.snapshot = self.phase
+
+    def advance(self):
+        self.phase = self.phase + 1

@@ -1,0 +1,15 @@
+# simlint-path: src/repro/fixture_race/s18b/sampler.py
+"""Periodic callbacks at unnamed priorities (SIM018 bad twin)."""
+
+
+class Sampler:
+    def __init__(self, sim):
+        self.sim = sim
+        self.count = 0
+
+    def tick(self):
+        self.count = self.count + 1
+        self.sim.schedule(0.001, self.tick)  # EXPECT: SIM018
+
+    def probe(self):
+        self.sim.schedule(0.001, self.probe, priority=1000000)  # EXPECT: SIM018

@@ -1,0 +1,14 @@
+# simlint-path: src/repro/fixture_race/s18g/sampler.py
+"""Periodic callback at the named SAMPLE tier (SIM018 good twin)."""
+
+from repro.sim.priorities import SAMPLE
+
+
+class Sampler:
+    def __init__(self, sim):
+        self.sim = sim
+        self.count = 0
+
+    def tick(self):
+        self.count = self.count + 1
+        self.sim.schedule(0.001, self.tick, priority=SAMPLE)

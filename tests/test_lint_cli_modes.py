@@ -1,0 +1,263 @@
+"""CLI-mode tests for ``python -m repro.lint``: flag interactions.
+
+Covers the gating matrix (``--select`` × ``--sem`` × ``--race``), exit
+codes, SARIF output, ``--changed-only`` git scoping, the baseline
+ratchet over race findings, and corrupt-cache-is-miss for the extended
+(v3) summary schema.
+"""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+from repro.lint.sem import ProjectAnalyzer
+from repro.lint.sem.cache import SummaryCache
+
+pytestmark = pytest.mark.simrace
+
+RACY_SOURCE = '''\
+class Cell:
+    def __init__(self, sim):
+        self.sim = sim
+        self.state = 0
+
+    def kick(self):
+        self.sim.schedule(0.5, self.set_low)
+        self.sim.schedule(0.5, self.set_high)
+
+    def set_low(self):
+        self.state = 1
+
+    def set_high(self):
+        self.state = 2
+'''
+
+CLEAN_SOURCE = "def helper(x):\n    return x + 1\n"
+
+WALLCLOCK_SOURCE = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+@pytest.fixture
+def racy_project(tmp_path):
+    (tmp_path / "cell.py").write_text(RACY_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Gating matrix and exit codes
+# ----------------------------------------------------------------------
+
+
+def test_race_codes_gated_behind_race_flag(racy_project):
+    target = str(racy_project)
+    assert lint_main([target, "-q"]) == 0
+    assert lint_main(["--sem", target, "-q"]) == 0
+    assert lint_main(["--race", target, "-q"]) == 1
+    assert lint_main(["--sem", "--race", target, "-q"]) == 1
+
+
+def test_select_race_code_requires_race_flag(racy_project):
+    target = str(racy_project)
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(["--select", "SIM016", target, "-q"])
+    assert excinfo.value.code == 2
+    assert lint_main(["--select", "SIM016", "--race", target, "-q"]) == 1
+    # Selecting one race code mutes the others but keeps the pass on.
+    assert lint_main(["--select", "SIM018", "--race", target, "-q"]) == 0
+
+
+def test_select_interacts_across_passes(tmp_path):
+    (tmp_path / "cell.py").write_text(RACY_SOURCE, encoding="utf-8")
+    (tmp_path / "stamp.py").write_text(WALLCLOCK_SOURCE, encoding="utf-8")
+    target = str(tmp_path)
+    # Syntactic finding only, race pass muted by --select:
+    assert lint_main(["--select", "SIM002", "--race", target, "-q"]) == 1
+    # --ignore drops the race finding, syntactic SIM002 remains:
+    assert lint_main(["--race", "--ignore", "SIM016", target, "-q"]) == 1
+    assert lint_main(
+        ["--race", "--ignore", "SIM002,SIM016", target, "-q"]
+    ) == 0
+
+
+def test_race_findings_in_json_payload(racy_project, capsys):
+    assert lint_main(
+        ["--race", "--format", "json", str(racy_project)]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    codes = [f["code"] for f in payload["findings"]]
+    assert codes == ["SIM016"]
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+
+def test_sarif_output_is_valid_and_complete(racy_project, capsys):
+    assert lint_main(
+        ["--race", "--format", "sarif", str(racy_project)]
+    ) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    # The driver catalog spans every pass, SIM001 through SIM018.
+    for code in ("SIM001", "SIM011", "SIM016", "SIM017", "SIM018"):
+        assert code in rule_ids
+    results = run["results"]
+    assert [r["ruleId"] for r in results] == ["SIM016"]
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1
+    assert region["startColumn"] >= 1  # SARIF columns are 1-based
+    assert results[0]["level"] == "error"
+
+
+def test_sarif_empty_run_still_valid(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN_SOURCE, encoding="utf-8")
+    assert lint_main(["--format", "sarif", str(tmp_path)]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+# ----------------------------------------------------------------------
+# --changed-only
+# ----------------------------------------------------------------------
+
+
+def _git(cwd, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.invalid", "-c", "user.name=t",
+         *argv],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_changed_only_narrows_per_file_rules(tmp_path, monkeypatch):
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(repo, "init", "-q")
+    (repo / "old.py").write_text(WALLCLOCK_SOURCE, encoding="utf-8")
+    (repo / "cell.py").write_text(RACY_SOURCE, encoding="utf-8")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-q", "-m", "seed")
+    (repo / "new.py").write_text(WALLCLOCK_SOURCE, encoding="utf-8")
+    monkeypatch.chdir(repo)
+
+    # Full run sees both wall-clock findings; changed-only sees only
+    # the uncommitted file's.
+    assert lint_main(["--select", "SIM002", ".", "-q"]) == 1
+    assert lint_main(
+        ["--select", "SIM002", "--changed-only", ".", "-q"]
+    ) == 1
+    # With old.py also clean at HEAD there is nothing changed to flag.
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-q", "-m", "second")
+    assert lint_main(
+        ["--select", "SIM002", "--changed-only", ".", "-q"]
+    ) == 0
+    # Whole-tree run still reports: --changed-only narrowed, not fixed.
+    assert lint_main(["--select", "SIM002", ".", "-q"]) == 1
+
+
+def test_changed_only_keeps_race_pass_whole_tree(tmp_path, monkeypatch):
+    """SIM016-SIM018 stay whole-tree under --changed-only: cross-module
+    properties are only meaningful on whole trees."""
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(repo, "init", "-q")
+    (repo / "cell.py").write_text(RACY_SOURCE, encoding="utf-8")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(repo)
+    # cell.py is unchanged vs HEAD, yet the race finding still reports.
+    assert lint_main(
+        ["--race", "--changed-only", "--no-sem-cache", ".", "-q"]
+    ) == 1
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet over race findings
+# ----------------------------------------------------------------------
+
+
+def test_baseline_round_trip_with_race(racy_project, tmp_path):
+    target = str(racy_project)
+    baseline = str(tmp_path / "baseline.json")
+    assert lint_main(
+        ["--race", "--write-baseline", baseline, target, "-q"]
+    ) == 0
+    # Ratcheted: the legacy finding is suppressed.
+    assert lint_main(["--race", "--baseline", baseline, target, "-q"]) == 0
+    # A new race elsewhere still fails.
+    (racy_project / "sampler.py").write_text(
+        "class S:\n"
+        "    def tick(self):\n"
+        "        self.sim.schedule(0.01, self.tick)\n",
+        encoding="utf-8",
+    )
+    assert lint_main(["--race", "--baseline", baseline, target, "-q"]) == 1
+
+
+def test_baseline_requires_a_project_pass(racy_project, tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(
+            ["--baseline", str(tmp_path / "b.json"), str(racy_project)]
+        )
+    assert excinfo.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# Summary cache under the extended (v3) schema
+# ----------------------------------------------------------------------
+
+
+def test_corrupt_cache_entry_is_miss_for_race_facts(tmp_path):
+    project = tmp_path / "proj"
+    project.mkdir()
+    (project / "cell.py").write_text(RACY_SOURCE, encoding="utf-8")
+    cache_dir = tmp_path / "cache"
+
+    cold = ProjectAnalyzer(cache=SummaryCache(cache_dir), race=True)
+    cold_findings = [f.format() for f in cold.analyze_paths([str(project)])]
+    assert cold.stats.computed == 1
+
+    warm = ProjectAnalyzer(cache=SummaryCache(cache_dir), race=True)
+    warm_findings = [f.format() for f in warm.analyze_paths([str(project)])]
+    assert warm.stats.cached == 1
+    assert warm_findings == cold_findings
+
+    # Truncate every entry: the next run recomputes, same findings.
+    entries = sorted(cache_dir.rglob("*.json"))
+    assert entries
+    for entry in entries:
+        entry.write_text("{not json", encoding="utf-8")
+    rebuilt = ProjectAnalyzer(cache=SummaryCache(cache_dir), race=True)
+    rebuilt_findings = [
+        f.format() for f in rebuilt.analyze_paths([str(project)])
+    ]
+    assert rebuilt.stats.cached == 0
+    assert rebuilt_findings == cold_findings
+
+
+def test_stale_schema_version_is_miss(tmp_path):
+    """An entry stamped with an older schema version never replays —
+    the v2->v3 bump invalidates by construction."""
+    project = tmp_path / "proj"
+    project.mkdir()
+    (project / "cell.py").write_text(RACY_SOURCE, encoding="utf-8")
+    cache_dir = tmp_path / "cache"
+    first = ProjectAnalyzer(cache=SummaryCache(cache_dir), race=True)
+    first.analyze_paths([str(project)])
+    entries = sorted(cache_dir.rglob("*.json"))
+    assert entries
+    for entry in entries:
+        blob = json.loads(entry.read_text(encoding="utf-8"))
+        blob["version"] = 2
+        entry.write_text(json.dumps(blob), encoding="utf-8")
+    second = ProjectAnalyzer(cache=SummaryCache(cache_dir), race=True)
+    second.analyze_paths([str(project)])
+    assert second.stats.cached == 0
