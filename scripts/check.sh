@@ -137,6 +137,18 @@ workload_smoke() {
         --fan-ins 4 --schemes xmp-2 --duration 0.006 --no-cache
 }
 
+fluid_smoke() {
+    # The fluid backend end-to-end through the CLI, then a short
+    # fluid-vs-packet cross-validation on the Fig. 1 dumbbell: the
+    # cheapest proof that the ODE backend, the runner plumbing and the
+    # crosscheck tolerances still hold together.
+    echo "== fluid smoke (fluid cell + bottleneck crosscheck via the CLI) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro fluid \
+        --flows 4 --duration 0.05 --no-cache
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro fluid \
+        --crosscheck bottleneck --duration 0.05 --no-cache
+}
+
 if [ "$run_invariants_only" = 1 ]; then
     echo "== pytest (invariants + golden traces) =="
     PYTHONPATH="$REPRO_PYTHONPATH" python -m pytest -x -q -m invariants
@@ -144,4 +156,5 @@ elif [ "$run_tests" = 1 ]; then
     echo "== pytest (tier 1, includes invariant + simlint suites) =="
     PYTHONPATH="$REPRO_PYTHONPATH" python -m pytest -x -q
     workload_smoke
+    fluid_smoke
 fi

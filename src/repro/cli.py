@@ -74,6 +74,10 @@ from repro.experiments.workload_matrix import (
     run_incast_sweep,
     run_workload_matrix,
 )
+from repro.fluid.backend import TOPOLOGIES as FLUID_TOPOLOGIES, FluidScenario
+from repro.fluid.laws import FLUID_SCHEMES
+from repro.fluid.solver import SOLVERS as FLUID_SOLVERS
+from repro.sim.units import seconds
 from repro.workloads.arrivals import ARRIVAL_NAMES
 from repro.workloads.cdf import WORKLOAD_NAMES
 from repro.runner import (
@@ -113,6 +117,11 @@ EXPERIMENT_INFO: Dict[str, Tuple[int, str]] = {
         len(MATRIX_SCHEMES) * len(SWEEP_FAN_INS),
         "incast sweep: partition-aggregate fan-in vs JCT and goodput "
         "collapse",
+    ),
+    "fluid": (
+        1,
+        "fluid ODE backend: steady-state windows/goodput/queues; "
+        "--crosscheck validates fluid against the packet engine",
     ),
     "export": (1, "run one fat-tree scenario and dump JSON/CSV artifacts"),
     "validate": (
@@ -235,6 +244,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=0.1)
     p.add_argument("--k", type=int, default=4, help="fat-tree arity")
     p.add_argument("--seed", type=int, default=1)
+    _add_runner_options(p)
+
+    p = sub.add_parser("fluid", help=EXPERIMENT_INFO["fluid"][1])
+    p.add_argument("--scheme", default="xmp", choices=FLUID_SCHEMES)
+    p.add_argument("--topology", default="bottleneck",
+                   choices=FLUID_TOPOLOGIES)
+    p.add_argument("--flows", type=int, default=4,
+                   help="long-lived flows (default 4)")
+    p.add_argument("--subflows", type=int, default=1)
+    p.add_argument("--duration", type=float, default=None,
+                   help="horizon in seconds (default 0.2; crosscheck 0.3)")
+    p.add_argument("--dt", type=float, default=2e-5,
+                   help="Euler step in seconds (default 2e-5)")
+    p.add_argument("--beta", type=float, default=4.0)
+    p.add_argument("--k", type=int, default=4,
+                   help="fat-tree arity (fattree topology only)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--solver", default="reference", choices=FLUID_SOLVERS,
+                   help="reference (pure python) or vector (numpy)")
+    p.add_argument("--crosscheck", nargs="?", const="all", default=None,
+                   choices=("bottleneck", "fattree", "all"), metavar="TOPO",
+                   help="cross-validate fluid vs packet on the golden "
+                        "scenarios instead of running one cell "
+                        "(optionally restrict to one topology)")
     _add_runner_options(p)
 
     p = sub.add_parser(
@@ -485,6 +518,50 @@ def _run_incast(args) -> str:
     return result.format() + _epilogue(args, result.campaign)
 
 
+def _run_fluid(args) -> str:
+    if args.crosscheck:
+        from repro.fluid.crosscheck import run_crosschecks
+
+        duration = seconds(args.duration) if args.duration else None
+        checks = run_crosschecks(args.crosscheck, duration=duration)
+        lines = [check.format() for check in checks]
+        failed = [check for check in checks if not check.ok]
+        lines.append(
+            f"crosscheck: {len(checks) - len(failed)}/{len(checks)} ok"
+        )
+        if failed:
+            raise SystemExit("\n".join(lines) + "\ncrosscheck: FAILED")
+        return "\n".join(lines)
+
+    scenario = FluidScenario(
+        scheme=args.scheme,
+        topology=args.topology,
+        flows=args.flows,
+        subflows=args.subflows,
+        duration=seconds(args.duration if args.duration else 0.2),
+        dt=seconds(args.dt),
+        beta=args.beta,
+        k=args.k,
+        seed=args.seed,
+        solver=args.solver,
+    )
+    result, campaign = _run_single("fluid", scenario, args)
+    windows = result.steady_state_windows()
+    goodputs = result.flow_goodputs_bps()
+    rows = [
+        ("mean window", f"{sum(windows) / len(windows):.2f} packets"),
+        ("mean goodput", f"{sum(goodputs) / len(goodputs) / 1e6:.1f} Mbps"),
+        ("min/max goodput",
+         f"{min(goodputs) / 1e6:.1f} / {max(goodputs) / 1e6:.1f} Mbps"),
+        ("max queue", f"{result.max_steady_state_queue():.1f} packets"),
+        ("state updates", f"{result.events}"),
+    ]
+    return format_table(
+        ["steady state", "value"], rows,
+        title=f"fluid {scenario.label()} ({args.solver} solver)",
+    ) + _epilogue(args, campaign)
+
+
 def _run_export(args) -> str:
     from repro.experiments.export import (
         export_campaign_metrics,
@@ -577,6 +654,7 @@ _RUNNERS = {
     "utilization": _run_utilization,
     "workload": _run_workload,
     "incast": _run_incast,
+    "fluid": _run_fluid,
     "export": _run_export,
     "validate": _run_validate,
     "profile": _run_profile,

@@ -32,6 +32,27 @@ from typing import Callable, List, Sequence
 #: Packet size used to convert packets <-> bits (paper: 1500 B MTU).
 PACKET_BITS = 1500 * 8
 
+#: Default sampling stride of :func:`integrate_shared_link`: one recorded
+#: sample per this many Euler steps.  The final step is always recorded
+#: regardless of stride, so ``steady_state_*`` tail means never miss the
+#: terminal state.
+SAMPLE_STRIDE = 16
+
+
+def step_count(duration: float, dt: float) -> int:
+    """Number of Euler steps covering ``duration`` at step ``dt``.
+
+    ``int(duration / dt)`` truncates: ``0.3 / 1e-4`` is
+    ``2999.9999999999995`` in binary floating point, so the naive form
+    silently drops the last step and shortens the horizon.  Rounding to
+    the nearest integer recovers the intended count whenever ``duration``
+    is an (exact or nearly exact) multiple of ``dt``; integrators always
+    take at least one step.
+    """
+    if duration <= 0 or dt <= 0:
+        raise ValueError("duration and dt must be positive")
+    return max(1, int(round(duration / dt)))
+
 
 def bos_window_ode(
     w: float, p: float, delta: float, beta: float, rtt: float
@@ -57,9 +78,7 @@ def integrate_single_flow(
     ``p`` the trajectory converges to Eq. 3's fixed point
     ``w* = delta*beta*(1-p)/p``.
     """
-    if duration <= 0 or dt <= 0:
-        raise ValueError("duration and dt must be positive")
-    steps = int(duration / dt)
+    steps = step_count(duration, dt)
     w = w0
     trajectory = []
     for i in range(steps):
@@ -88,6 +107,38 @@ def threshold_marking_probability(
     return 1.0 / (1.0 + math.exp(-(queue_packets - threshold) / width))
 
 
+def _check_tail_fraction(tail_fraction: float) -> None:
+    """Tail means need a non-empty tail: require ``0 < fraction <= 1``.
+
+    ``tail_fraction=0.0`` used to slice an empty tail and silently
+    average it to 0.0; out-of-range fractions were accepted and produced
+    nonsense slices.  Both are caller bugs, so they raise.
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(
+            f"tail_fraction must be in (0, 1], got {tail_fraction}"
+        )
+
+
+def _tail_start(length: int, tail_fraction: float) -> int:
+    """First index of the trailing window; always leaves >= 1 sample."""
+    return min(int(length * (1.0 - tail_fraction)), length - 1)
+
+
+def tail_mean(values: Sequence[float], tail_fraction: float = 0.3) -> float:
+    """Mean of the trailing ``tail_fraction`` of a non-empty series.
+
+    The steady-state reduction every fluid result uses: validated
+    ``tail_fraction`` (see :func:`_check_tail_fraction`), and the window
+    always contains at least the final sample.
+    """
+    _check_tail_fraction(tail_fraction)
+    if not values:
+        raise ValueError("tail_mean needs a non-empty series")
+    start = _tail_start(len(values), tail_fraction)
+    return sum(values[start:]) / (len(values) - start)
+
+
 @dataclass
 class FluidLinkResult:
     """Trajectories from :func:`integrate_shared_link`."""
@@ -98,20 +149,22 @@ class FluidLinkResult:
 
     def steady_state_windows(self, tail_fraction: float = 0.3) -> List[float]:
         """Mean window per flow over the trailing ``tail_fraction``."""
+        _check_tail_fraction(tail_fraction)
         if not self.times:
             return []
-        start = int(len(self.times) * (1.0 - tail_fraction))
+        start = _tail_start(len(self.times), tail_fraction)
         return [
-            sum(series[start:]) / max(len(series) - start, 1)
+            sum(series[start:]) / (len(series) - start)
             for series in self.windows
         ]
 
     def steady_state_queue(self, tail_fraction: float = 0.3) -> float:
         """Mean queue over the trailing ``tail_fraction`` (packets)."""
+        _check_tail_fraction(tail_fraction)
         if not self.queue:
             return 0.0
-        start = int(len(self.queue) * (1.0 - tail_fraction))
-        return sum(self.queue[start:]) / max(len(self.queue) - start, 1)
+        start = _tail_start(len(self.queue), tail_fraction)
+        return sum(self.queue[start:]) / (len(self.queue) - start)
 
 
 def integrate_shared_link(
@@ -124,17 +177,21 @@ def integrate_shared_link(
     beta: float = 4.0,
     deltas: Sequence[float] = (),
     w0: float = 2.0,
+    sample_stride: int = SAMPLE_STRIDE,
 ) -> FluidLinkResult:
     """N BOS flows sharing one marked link, in the fluid limit.
 
     Windows follow Eq. 2; the queue integrates excess arrival; RTTs are
     base propagation plus queueing delay; marking follows
-    :func:`threshold_marking_probability`.
+    :func:`threshold_marking_probability`.  Trajectories are sampled
+    every ``sample_stride`` steps, plus the final step unconditionally.
     """
     if num_flows < 1:
         raise ValueError("need at least one flow")
     if capacity_bps <= 0 or base_rtt <= 0:
         raise ValueError("capacity and base_rtt must be positive")
+    if sample_stride < 1:
+        raise ValueError(f"sample_stride must be >= 1, got {sample_stride}")
     flow_deltas = list(deltas) if deltas else [1.0] * num_flows
     if len(flow_deltas) != num_flows:
         raise ValueError("deltas must match num_flows")
@@ -143,7 +200,7 @@ def integrate_shared_link(
     windows = [w0] * num_flows
     queue = 0.0
     result = FluidLinkResult(windows=[[] for _ in range(num_flows)])
-    steps = int(duration / dt)
+    steps = step_count(duration, dt)
     for i in range(steps):
         rtt = base_rtt + queue / capacity_pps
         p = threshold_marking_probability(queue, threshold)
@@ -155,7 +212,7 @@ def integrate_shared_link(
             )
             windows[f] = max(windows[f], 1.0)
         queue = max(0.0, queue + dt * (arrival - capacity_pps))
-        if i % 16 == 0:
+        if i % sample_stride == 0 or i == steps - 1:
             result.times.append(i * dt)
             result.queue.append(queue)
             for f in range(num_flows):
@@ -165,6 +222,9 @@ def integrate_shared_link(
 
 __all__ = [
     "PACKET_BITS",
+    "SAMPLE_STRIDE",
+    "step_count",
+    "tail_mean",
     "bos_window_ode",
     "integrate_single_flow",
     "threshold_marking_probability",

@@ -23,6 +23,27 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.bos import BosCC
+from repro.sim.units import Seconds
+
+
+def trash_delta(
+    cwnd: float,
+    total_rate: float,
+    min_rtt: Seconds,
+    weight: float = 1.0,
+) -> float:
+    """Eq. 9 / Algorithm 1 as a pure formula: ``w * cwnd / (y_s * T_s)``.
+
+    ``cwnd`` and ``total_rate`` must share a size unit (packets with
+    packets/s, or bytes with bytes/s) — delta is dimensionless.  Shared
+    by the packet-level :class:`TraSh` and the fluid backend's XMP law
+    (:mod:`repro.fluid.laws`), so the two backends cannot drift apart on
+    the coupling formula.  Falls back to the uncoupled ``weight`` until
+    both quantities are measurable.
+    """
+    if total_rate <= 0.0 or min_rtt <= 0.0:
+        return weight
+    return weight * cwnd / (total_rate * min_rtt)
 
 
 class TraSh:
@@ -85,9 +106,9 @@ class TraSh:
             return self.weight
         total = self.total_rate()
         min_rtt = self.min_rtt()
-        if total <= 0.0 or min_rtt is None:
+        if min_rtt is None:
             return self.weight
-        return self.weight * sender.cwnd / (total * min_rtt)
+        return trash_delta(sender.cwnd, total, min_rtt, self.weight)
 
 
-__all__ = ["TraSh"]
+__all__ = ["TraSh", "trash_delta"]

@@ -1,0 +1,35 @@
+"""The fluid simulation backend: long-lived flows as ODEs over a topology.
+
+The packet engine (``repro.sim`` + ``repro.net``) simulates every
+segment; this package simulates the *fluid limit* of the same system —
+per-subflow window ODEs (paper Eq. 2, extended with TraSh coupling,
+Eq. 9) coupled to per-link queue/marking state extracted from the same
+``repro.topology`` builders and path enumeration the packet engine uses.
+A :class:`~repro.fluid.backend.FluidScenario` is a frozen RunSpec config
+like any packet scenario, so fluid cells flow through the same
+Campaign/cache/telemetry machinery (``kind="fluid"``).
+
+Fidelity contract: the fluid backend reproduces *steady-state* windows,
+queues and per-flow rates of long-lived flows (cross-validated against
+the packet engine in ``repro.fluid.crosscheck`` within documented
+tolerances); it does not model per-packet effects — retransmission
+timeouts, slow start, incast synchronization.  Use it where the packet
+engine cannot go: k=16/k=32 fat trees with 10^4-10^6 concurrent flows.
+"""
+
+from repro.fluid.backend import FluidResult, FluidScenario, run_fluid
+from repro.fluid.model import FluidLink, FluidModel, FluidSubflow, model_from_network
+from repro.fluid.solver import FluidTrajectory, integrate_model, vector_available
+
+__all__ = [
+    "FluidLink",
+    "FluidModel",
+    "FluidResult",
+    "FluidScenario",
+    "FluidSubflow",
+    "FluidTrajectory",
+    "integrate_model",
+    "model_from_network",
+    "run_fluid",
+    "vector_available",
+]

@@ -1,0 +1,329 @@
+"""Fluid ODE integration over a :class:`~repro.fluid.model.FluidModel`.
+
+One Euler step advances, in this order:
+
+1. **links** — queueing delay ``q/C`` and the logistic marking/loss
+   probability of every link (:func:`threshold_marking_probability`);
+2. **subflows** — RTT (base + path queueing delay), path marking
+   probability ``1 - prod(1 - p_l)``, fluid rate ``x = w/T``;
+3. **flows** — the per-flow aggregates the coupled laws need (XMP's
+   ``y_s``/``T_s``, LIA's alpha and total window);
+4. **windows** — the scheme's drift (:mod:`repro.fluid.laws`), clamped
+   at :data:`~repro.fluid.laws.MIN_WINDOW`;
+5. **queues** — ``q += dt * (arrivals - C)``, floored at zero,
+   with arrivals taken from the pre-update rates (as in
+   :func:`repro.core.fluid.integrate_shared_link`).
+
+Two interchangeable solvers implement these semantics:
+
+* ``"reference"`` — pure Python, the executable specification; and
+* ``"vector"`` — numpy segment reductions over flattened path arrays,
+  for the 10^4-10^6-subflow scenarios the reference loop cannot reach.
+  Requires numpy (an optional test/bench dependency — the choice is
+  explicit in the spec, never auto-detected, so a spec's fingerprint
+  always names the float-summation order that produced its result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.bos import DEFAULT_BETA
+from repro.core.fluid import (
+    SAMPLE_STRIDE,
+    step_count,
+    tail_mean,
+    threshold_marking_probability,
+)
+from repro.fluid import laws
+from repro.fluid.model import FluidModel
+from repro.sim.units import Seconds
+
+SOLVERS = ("reference", "vector")
+
+
+def vector_available() -> bool:
+    """Whether the numpy-backed ``"vector"`` solver can run here."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@dataclass
+class FluidTrajectory:
+    """Sampled state series from one integration.
+
+    ``windows``/``rates`` are per-subflow series (packets, packets/s),
+    ``queues`` per-link series (packets); all sampled every
+    ``sample_stride`` steps plus the final step unconditionally.
+    """
+
+    times: List[float] = field(default_factory=list)
+    windows: List[List[float]] = field(default_factory=list)
+    rates: List[List[float]] = field(default_factory=list)
+    queues: List[List[float]] = field(default_factory=list)
+    link_names: Tuple[str, ...] = ()
+    steps: int = 0
+    dt: float = 0.0
+    #: Total state updates performed: steps * (subflows + links) — the
+    #: fluid backend's events-processed equivalent.
+    state_updates: int = 0
+
+    def steady_state_windows(self, tail_fraction: float = 0.3) -> List[float]:
+        """Per-subflow tail-mean window, packets."""
+        return [tail_mean(series, tail_fraction) for series in self.windows]
+
+    def steady_state_rates(self, tail_fraction: float = 0.3) -> List[float]:
+        """Per-subflow tail-mean fluid rate, packets/s."""
+        return [tail_mean(series, tail_fraction) for series in self.rates]
+
+    def steady_state_queues(self, tail_fraction: float = 0.3) -> List[float]:
+        """Per-link tail-mean queue, packets (parallel to link_names)."""
+        return [tail_mean(series, tail_fraction) for series in self.queues]
+
+
+def integrate_model(
+    model: FluidModel,
+    scheme: str,
+    duration: Seconds,
+    dt: Seconds = 2e-5,
+    beta: float = DEFAULT_BETA,
+    w0: float = 2.0,
+    sample_stride: int = SAMPLE_STRIDE,
+    solver: str = "reference",
+) -> FluidTrajectory:
+    """Euler-integrate ``model`` under ``scheme`` for ``duration``."""
+    if scheme not in laws.FLUID_SCHEMES:
+        raise ValueError(
+            f"unknown fluid scheme {scheme!r} (one of {laws.FLUID_SCHEMES})"
+        )
+    if solver not in SOLVERS:
+        raise ValueError(f"unknown solver {solver!r} (one of {SOLVERS})")
+    if sample_stride < 1:
+        raise ValueError(f"sample_stride must be >= 1, got {sample_stride}")
+    if not model.subflows:
+        raise ValueError("model has no subflows")
+    steps = step_count(duration, dt)
+    if solver == "vector":
+        return _integrate_vector(model, scheme, steps, dt, beta, w0, sample_stride)
+    return _integrate_reference(model, scheme, steps, dt, beta, w0, sample_stride)
+
+
+def _new_trajectory(
+    model: FluidModel, steps: int, dt: float
+) -> FluidTrajectory:
+    num_subflows = len(model.subflows)
+    num_links = len(model.links)
+    return FluidTrajectory(
+        windows=[[] for _ in range(num_subflows)],
+        rates=[[] for _ in range(num_subflows)],
+        queues=[[] for _ in range(num_links)],
+        link_names=tuple(link.name for link in model.links),
+        steps=steps,
+        dt=dt,
+        state_updates=steps * (num_subflows + num_links),
+    )
+
+
+def _integrate_reference(
+    model: FluidModel,
+    scheme: str,
+    steps: int,
+    dt: float,
+    beta: float,
+    w0: float,
+    sample_stride: int,
+) -> FluidTrajectory:
+    """The pure-Python executable specification of one Euler step."""
+    use_ecn = laws.scheme_uses_ecn(scheme)
+    num_links = len(model.links)
+    num_subflows = len(model.subflows)
+    caps = [link.capacity_pps for link in model.links]
+    knees = [
+        link.ecn_threshold if use_ecn else link.drop_threshold
+        for link in model.links
+    ]
+    paths = [subflow.links for subflow in model.subflows]
+    base = [subflow.base_rtt for subflow in model.subflows]
+    slices = model.flow_slices()
+
+    w = [float(w0)] * num_subflows
+    q = [0.0] * num_links
+    alpha = [1.0] * num_subflows if scheme == "dctcp" else None
+
+    out = _new_trajectory(model, steps, dt)
+    for i in range(steps):
+        delay = [q[l] / caps[l] for l in range(num_links)]
+        p_link = [
+            threshold_marking_probability(q[l], knees[l], laws.MARKING_WIDTH)
+            for l in range(num_links)
+        ]
+        rtts = [0.0] * num_subflows
+        probs = [0.0] * num_subflows
+        rates = [0.0] * num_subflows
+        arrivals = [0.0] * num_links
+        for s in range(num_subflows):
+            rtt = base[s]
+            survive = 1.0
+            for l in paths[s]:
+                rtt += delay[l]
+                survive *= 1.0 - p_link[l]
+            x = w[s] / rtt
+            rtts[s] = rtt
+            probs[s] = 1.0 - survive
+            rates[s] = x
+            for l in paths[s]:
+                arrivals[l] += x
+
+        if scheme == "xmp":
+            for start, end in slices:
+                y = sum(rates[start:end])
+                t_min = min(rtts[start:end])
+                for s in range(start, end):
+                    w[s] += dt * laws.xmp_window_drift(
+                        w[s], probs[s], rtts[s], y, t_min, beta
+                    )
+        elif scheme == "bos-uncoupled":
+            for s in range(num_subflows):
+                w[s] += dt * laws.bos_window_drift(w[s], probs[s], rtts[s], beta)
+        elif scheme == "lia":
+            for start, end in slices:
+                flow_alpha = laws.lia_alpha(w[start:end], rtts[start:end])
+                total = sum(w[start:end])
+                for s in range(start, end):
+                    w[s] += dt * laws.lia_window_drift(
+                        w[s], probs[s], rtts[s], flow_alpha, total
+                    )
+        else:  # dctcp
+            assert alpha is not None
+            for s in range(num_subflows):
+                w[s] += dt * laws.dctcp_window_drift(
+                    w[s], probs[s], rtts[s], alpha[s]
+                )
+                alpha[s] += dt * laws.dctcp_alpha_drift(
+                    alpha[s], probs[s], rtts[s]
+                )
+        for s in range(num_subflows):
+            if w[s] < laws.MIN_WINDOW:
+                w[s] = laws.MIN_WINDOW
+
+        for l in range(num_links):
+            q[l] = max(0.0, q[l] + dt * (arrivals[l] - caps[l]))
+
+        if i % sample_stride == 0 or i == steps - 1:
+            out.times.append(i * dt)
+            for s in range(num_subflows):
+                out.windows[s].append(w[s])
+                out.rates[s].append(rates[s])
+            for l in range(num_links):
+                out.queues[l].append(q[l])
+    return out
+
+
+def _integrate_vector(
+    model: FluidModel,
+    scheme: str,
+    steps: int,
+    dt: float,
+    beta: float,
+    w0: float,
+    sample_stride: int,
+) -> FluidTrajectory:
+    """numpy mirror of :func:`_integrate_reference` (same semantics).
+
+    Paths are flattened into one link-index array with per-subflow
+    segment offsets; per-subflow sums/products and per-flow reductions
+    are ``ufunc.reduceat`` calls, and arrivals scatter back with
+    ``bincount``.  Float summation *order* differs from the reference
+    loop, so trajectories agree only to integration tolerance — which
+    is why the spec names the solver explicitly.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError(
+            "the 'vector' fluid solver requires numpy; use solver='reference'"
+        ) from None
+
+    use_ecn = laws.scheme_uses_ecn(scheme)
+    num_links = len(model.links)
+    num_subflows = len(model.subflows)
+    caps = np.array([link.capacity_pps for link in model.links])
+    knees = np.array(
+        [
+            link.ecn_threshold if use_ecn else link.drop_threshold
+            for link in model.links
+        ]
+    )
+    base = np.array([subflow.base_rtt for subflow in model.subflows])
+    path_links = np.concatenate(
+        [np.asarray(subflow.links, dtype=np.int64) for subflow in model.subflows]
+    )
+    path_lens = np.array(
+        [len(subflow.links) for subflow in model.subflows], dtype=np.int64
+    )
+    sub_offsets = np.concatenate(([0], np.cumsum(path_lens)[:-1]))
+    path_sub = np.repeat(np.arange(num_subflows, dtype=np.int64), path_lens)
+    slices = model.flow_slices()
+    flow_offsets = np.array([start for start, _ in slices], dtype=np.int64)
+    flow_of = np.array([subflow.flow for subflow in model.subflows], dtype=np.int64)
+
+    w = np.full(num_subflows, float(w0))
+    q = np.zeros(num_links)
+    alpha = np.ones(num_subflows) if scheme == "dctcp" else None
+
+    out = _new_trajectory(model, steps, dt)
+    for i in range(steps):
+        delay = q / caps
+        p_link = 1.0 / (1.0 + np.exp(-(q - knees) / laws.MARKING_WIDTH))
+        rtt = base + np.add.reduceat(delay[path_links], sub_offsets)
+        survive = np.multiply.reduceat(1.0 - p_link[path_links], sub_offsets)
+        p = 1.0 - survive
+        x = w / rtt
+
+        if scheme == "xmp":
+            y = np.add.reduceat(x, flow_offsets)[flow_of]
+            t_min = np.minimum.reduceat(rtt, flow_offsets)[flow_of]
+            delta = w / (y * t_min)
+            dw = (delta * (1.0 - p) - w * p / beta) / rtt
+        elif scheme == "bos-uncoupled":
+            dw = ((1.0 - p) - w * p / beta) / rtt
+        elif scheme == "lia":
+            numerator = np.maximum.reduceat(w / (rtt * rtt), flow_offsets)
+            denominator = np.add.reduceat(w / rtt, flow_offsets)
+            total = np.add.reduceat(w, flow_offsets)
+            flow_alpha = total * numerator / (denominator * denominator)
+            own = 1.0 / np.maximum(w, 1.0)
+            increase = np.minimum(flow_alpha[flow_of] / total[flow_of], own)
+            dw = x * ((1.0 - p) * increase - p * (w / 2.0))
+        else:  # dctcp
+            assert alpha is not None
+            dw = ((1.0 - p) - (w * alpha / 2.0) * p) / rtt
+            alpha = alpha + dt * laws.DEFAULT_GAIN * (p - alpha) / rtt
+
+        w = np.maximum(w + dt * dw, laws.MIN_WINDOW)
+        arrivals = np.bincount(path_links, weights=x[path_sub], minlength=num_links)
+        q = np.maximum(q + dt * (arrivals - caps), 0.0)
+
+        if i % sample_stride == 0 or i == steps - 1:
+            out.times.append(i * dt)
+            w_list = w.tolist()
+            x_list = x.tolist()
+            q_list = q.tolist()
+            for s in range(num_subflows):
+                out.windows[s].append(w_list[s])
+                out.rates[s].append(x_list[s])
+            for l in range(num_links):
+                out.queues[l].append(q_list[l])
+    return out
+
+
+__all__ = [
+    "SOLVERS",
+    "FluidTrajectory",
+    "integrate_model",
+    "vector_available",
+]

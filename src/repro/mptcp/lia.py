@@ -19,9 +19,32 @@ penalize it for.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.transport.cc import RenoCC
+
+
+def lia_alpha(windows: Sequence[float], rtts: Sequence[float]) -> float:
+    """RFC 6356's aggressiveness factor as a pure formula.
+
+    ``alpha = w_total * max_r(w_r/rtt_r^2) / (sum_r w_r/rtt_r)^2`` over
+    parallel ``windows``/``rtts`` sequences.  Shared by the packet-level
+    :class:`LiaCoupling` and the fluid backend's LIA law
+    (:mod:`repro.fluid.laws`).  Returns 0.0 when any RTT is unknown or
+    non-positive (the packet side's "not measured yet" fallback).
+    """
+    numerator = 0.0
+    denominator = 0.0
+    total = 0.0
+    for cwnd, rtt in zip(windows, rtts):
+        if rtt is None or rtt <= 0:
+            return 0.0
+        numerator = max(numerator, cwnd / (rtt * rtt))
+        denominator += cwnd / rtt
+        total += cwnd
+    if denominator <= 0:
+        return 0.0
+    return total * numerator / (denominator * denominator)
 
 
 class LiaCoupling:
@@ -51,19 +74,15 @@ class LiaCoupling:
 
     def alpha(self) -> float:
         """RFC 6356's aggressiveness factor; 0 when RTTs are unknown yet."""
-        numerator = 0.0
-        denominator = 0.0
-        total = 0.0
+        windows = []
+        rtts = []
         for sender in self._active():
             srtt = sender.srtt
             if srtt is None or srtt <= 0:
                 return 0.0
-            numerator = max(numerator, sender.cwnd / (srtt * srtt))
-            denominator += sender.cwnd / srtt
-            total += sender.cwnd
-        if denominator <= 0:
-            return 0.0
-        return total * numerator / (denominator * denominator)
+            windows.append(sender.cwnd)
+            rtts.append(srtt)
+        return lia_alpha(windows, rtts)
 
 
 class LiaCC(RenoCC):
@@ -87,4 +106,4 @@ class LiaCC(RenoCC):
         return min(alpha / total, own)
 
 
-__all__ = ["LiaCoupling", "LiaCC"]
+__all__ = ["LiaCoupling", "LiaCC", "lia_alpha"]

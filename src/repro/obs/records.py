@@ -26,7 +26,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only; see run_record()
     from repro.runner.spec import RunResult
 
 #: Bump when the JSONL record layout changes incompatibly.
-TELEMETRY_SCHEMA = 1
+#: 2: added the ``backend`` field (packet vs fluid execution).
+TELEMETRY_SCHEMA = 2
 
 #: Wall-clock top-level record fields (host-dependent, never compared).
 WALL_CLOCK_FIELDS = ("wall_time_s", "wall_sim_ratio")
@@ -180,7 +181,12 @@ def run_record(result: "RunResult") -> dict:
     # repro.obs.hooks at import time, and pulling repro.runner (which
     # imports the repro package root) into that chain would be a cycle.
     from repro.runner.cache import spec_fingerprint
+    from repro.runner.registry import BACKEND_PACKET, backend_of
 
+    try:
+        backend = backend_of(result.spec.kind)
+    except KeyError:
+        backend = BACKEND_PACKET
     metrics = result.metrics
     sim_time = getattr(result.spec.config, "duration", None)
     if sim_time is not None:
@@ -193,6 +199,7 @@ def run_record(result: "RunResult") -> dict:
         "schema": TELEMETRY_SCHEMA,
         "fingerprint": spec_fingerprint(result.spec),
         "kind": result.spec.kind,
+        "backend": backend,
         "label": result.spec.label(),
         "source": metrics.source,
         "cached": metrics.cached,

@@ -25,6 +25,12 @@ from typing import Any, Callable, Dict, Tuple
 from repro.runner.spec import SOURCE_RUN, CellMetrics, RunResult, RunSpec
 
 
+#: Simulation backends a kind can run on.  "packet" is the per-event
+#: engine (repro.sim + repro.net); "fluid" the ODE backend (repro.fluid).
+BACKEND_PACKET = "packet"
+BACKEND_FLUID = "fluid"
+
+
 @dataclass(frozen=True)
 class KindEntry:
     """One registered experiment kind."""
@@ -34,7 +40,12 @@ class KindEntry:
     function: str
     #: Attribute of the result object carrying the simulator's
     #: events-processed counter (0 if the result does not expose one).
+    #: Fluid kinds count ODE state updates through the same attribute,
+    #: so events/sec stays the cross-backend throughput currency.
     events_attr: str = "events"
+    #: Which simulation backend executes this kind (telemetry surfaces
+    #: it, so mixed packet/fluid campaigns stay distinguishable).
+    backend: str = BACKEND_PACKET
 
     def resolve(self) -> Callable[[Any], Any]:
         return getattr(importlib.import_module(self.module), self.function)
@@ -44,10 +55,19 @@ _KINDS: Dict[str, KindEntry] = {}
 
 
 def register_kind(
-    name: str, module: str, function: str, events_attr: str = "events"
+    name: str,
+    module: str,
+    function: str,
+    events_attr: str = "events",
+    backend: str = BACKEND_PACKET,
 ) -> None:
     """Register (or re-register) an experiment kind."""
-    _KINDS[name] = KindEntry(name, module, function, events_attr)
+    _KINDS[name] = KindEntry(name, module, function, events_attr, backend)
+
+
+def backend_of(kind: str) -> str:
+    """The simulation backend a registered kind runs on."""
+    return kind_entry(kind).backend
 
 
 def kind_entry(name: str) -> KindEntry:
@@ -140,11 +160,15 @@ register_kind("fig6", "repro.experiments.fig6_fairness", "_simulate")
 register_kind("fig7", "repro.experiments.fig7_rate_compensation", "_simulate")
 register_kind("workload", "repro.experiments.workload_matrix", "_simulate_workload")
 register_kind("incast_sweep", "repro.experiments.workload_matrix", "_simulate_incast")
+register_kind("fluid", "repro.fluid.backend", "_simulate", backend=BACKEND_FLUID)
 
 
 __all__ = [
+    "BACKEND_FLUID",
+    "BACKEND_PACKET",
     "KindEntry",
     "register_kind",
+    "backend_of",
     "kind_entry",
     "registered_kinds",
     "events_of",

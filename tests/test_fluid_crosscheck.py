@@ -1,0 +1,73 @@
+"""Fluid-vs-packet cross-validation (the tentpole's acceptance gate).
+
+These run both backends on the paper's golden scenarios and assert
+agreement within the documented tolerances of
+:mod:`repro.fluid.crosscheck`.  Deliberately few and chunky: each test
+is a real packet simulation plus a real ODE integration."""
+
+import pytest
+
+from repro.fluid.crosscheck import (
+    CrossCheck,
+    crosscheck_bottleneck,
+    crosscheck_fattree,
+    run_crosschecks,
+)
+from repro.sim.units import seconds
+
+
+class TestCrossCheckArithmetic:
+    def test_relative_error(self):
+        check = CrossCheck("x", fluid=110.0, packet=100.0,
+                           tolerance=0.2, mode="relative")
+        assert check.error == pytest.approx(0.1)
+        assert check.ok
+
+    def test_absolute_error(self):
+        check = CrossCheck("x", fluid=12.0, packet=8.0,
+                           tolerance=3.0, mode="absolute")
+        assert check.error == pytest.approx(4.0)
+        assert not check.ok
+
+    def test_format_names_verdict(self):
+        check = CrossCheck("x", 1.0, 1.0, 0.1, "relative")
+        assert "ok" in check.format()
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            run_crosschecks("torus")
+
+
+class TestBottleneckCrossCheck:
+    @pytest.mark.parametrize("scheme", ["xmp", "dctcp"])
+    def test_golden_dumbbell_agrees(self, scheme):
+        """Fig. 1 dumbbell: windows, queue and goodput agree between the
+        packet engine and the fluid ODE within documented tolerance."""
+        checks = crosscheck_bottleneck(scheme=scheme, duration=seconds(0.15))
+        assert len(checks) == 3
+        for check in checks:
+            assert check.ok, check.format()
+
+    def test_catches_wrong_equilibrium(self):
+        """The tolerance is tight enough to catch a beta-factor error:
+        doubling fluid beta moves the window equilibrium outside it."""
+        good = crosscheck_bottleneck(scheme="xmp", duration=seconds(0.15))
+        bad = crosscheck_bottleneck(
+            scheme="xmp", duration=seconds(0.15), beta=16.0
+        )
+        window_good = next(c for c in good if c.name.endswith("window"))
+        window_bad = next(c for c in bad if c.name.endswith("window"))
+        assert window_good.ok
+        assert window_bad.error > window_good.error
+
+
+class TestFatTreeCrossCheck:
+    def test_table1_permutation_agrees(self):
+        """Table 1's k=4 XMP-2 permutation cell: mean per-flow goodput
+        from the fluid permutation matches the packet engine's.  Runs
+        the full 0.3 s horizon: shorter runs leave slow start in the
+        packet side's tail window and the comparison is not yet
+        steady-state vs steady-state."""
+        checks = crosscheck_fattree()
+        for check in checks:
+            assert check.ok, check.format()
