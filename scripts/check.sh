@@ -1,24 +1,26 @@
 #!/usr/bin/env bash
-# Repo check: lint (ruff if installed, simlint + simsem + simrace always,
-# mypy if installed) + the tier-1 test suite, which includes the
-# runtime-invariant / golden-trace tests (-m invariants), the simlint
-# self-checks (-m simlint), the simsem cross-module-analysis suite
-# (-m simsem) and the simrace detector suite (-m simrace).
+# Repo check: lint (ruff if installed, simlint + simsem + simrace +
+# simperf always, mypy if installed) + the tier-1 test suite, which
+# includes the runtime-invariant / golden-trace tests (-m invariants),
+# the simlint self-checks (-m simlint), the simsem
+# cross-module-analysis suite (-m simsem), the simrace detector suite
+# (-m simrace) and the simperf suite (-m simperf).
 #
 #   scripts/check.sh               # everything
-#   scripts/check.sh --lint        # ruff (if installed) + simlint + simsem + simrace + mypy (if installed)
+#   scripts/check.sh --lint        # ruff (if installed) + simlint + simsem + simrace + simperf + mypy (if installed)
 #   scripts/check.sh --simlint     # simlint only (syntactic, per file)
 #   scripts/check.sh --sem         # simsem only (cross-module semantic pass)
 #   scripts/check.sh --race        # simrace only (static race pass + sanitizer smoke)
+#   scripts/check.sh --perf        # simperf only (static hot-path pass + allocation sanitizer smoke)
 #   scripts/check.sh --tests       # tests only
 #   scripts/check.sh --invariants  # invariant + golden-trace suite only
 #   scripts/check.sh --bench       # engine bench vs BENCH_engine.json (>30% drop fails)
 #
 # ruff and mypy are optional: their configs live in pyproject.toml, but
 # the check degrades gracefully on machines without them.  simlint,
-# simsem and simrace are NOT optional — all are pure stdlib
+# simsem, simrace and simperf are NOT optional — all are pure stdlib
 # (repro.lint), so there is never a reason to skip them; every
-# lint-running mode runs all three.
+# lint-running mode runs all four.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,6 +33,7 @@ run_tests=1
 run_simlint_only=0
 run_sem_only=0
 run_race_only=0
+run_perf_only=0
 run_invariants_only=0
 run_bench_only=0
 case "${1:-}" in
@@ -38,11 +41,12 @@ case "${1:-}" in
     --simlint) run_tests=0; run_lint=0; run_simlint_only=1 ;;
     --sem) run_tests=0; run_lint=0; run_sem_only=1 ;;
     --race) run_tests=0; run_lint=0; run_race_only=1 ;;
+    --perf) run_tests=0; run_lint=0; run_perf_only=1 ;;
     --tests) run_lint=0 ;;
     --invariants) run_lint=0; run_invariants_only=1 ;;
     --bench) run_lint=0; run_tests=0; run_bench_only=1 ;;
     "") ;;
-    *) echo "usage: scripts/check.sh [--lint|--simlint|--sem|--race|--tests|--invariants|--bench]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--lint|--simlint|--sem|--race|--perf|--tests|--invariants|--bench]" >&2; exit 2 ;;
 esac
 
 simlint() {
@@ -72,14 +76,33 @@ simrace() {
         --out "${REPRO_RACE_REPORT:-race-report.jsonl}"
 }
 
-# Compiled bytecode must never be tracked (it is machine/version
-# specific and bloats every diff).  Cheap, so it runs in every mode.
+simperf() {
+    # The hot-path performance pass, both sides: the static rules over
+    # the whole tree (every finding must be fixed or carry an
+    # allow-alloc pragma — the gate is zero findings), then the
+    # allocation sanitizer on the golden smoke set (digests must stay
+    # bit-identical and every observed allocator must have a static
+    # explanation), then the two engine micro cells with every callback
+    # traced.  The report path can be overridden for CI artifact upload.
+    echo "== simperf (python -m repro.lint --perf, static pass) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint --perf \
+        --select SIM019,SIM020,SIM021,SIM022,SIM023 src/repro
+    echo "== simperf sanitizer smoke (python -m repro.lint.perf) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint.perf \
+        --out "${REPRO_PERF_REPORT:-perf-report.jsonl}"
+    echo "== simperf micro cells (python -m repro.lint.perf --micro) =="
+    PYTHONPATH="$REPRO_PYTHONPATH" python -m repro.lint.perf --micro
+}
+
+# Compiled bytecode and generated sanitizer reports must never be
+# tracked (machine/version specific; they bloat every diff).  Cheap, so
+# it runs in every mode.
 if command -v git > /dev/null 2>&1 && git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
-    echo "== tracked-bytecode guard =="
-    tracked_pyc=$(git ls-files | grep -E '(^|/)__pycache__/|\.py[cod]$' || true)
-    if [ -n "$tracked_pyc" ]; then
-        echo "error: compiled bytecode is tracked in git:" >&2
-        echo "$tracked_pyc" >&2
+    echo "== tracked-artifact guard =="
+    tracked_artifacts=$(git ls-files | grep -E '(^|/)__pycache__/|\.py[cod]$|^[^/]*\.jsonl$' || true)
+    if [ -n "$tracked_artifacts" ]; then
+        echo "error: generated artifacts are tracked in git:" >&2
+        echo "$tracked_artifacts" >&2
         echo "fix: git rm -r --cached <paths>  (.gitignore already excludes them)" >&2
         exit 1
     fi
@@ -97,6 +120,10 @@ if [ "$run_race_only" = 1 ]; then
     simrace
 fi
 
+if [ "$run_perf_only" = 1 ]; then
+    simperf
+fi
+
 if [ "$run_lint" = 1 ]; then
     if command -v ruff > /dev/null 2>&1; then
         echo "== ruff =="
@@ -107,6 +134,7 @@ if [ "$run_lint" = 1 ]; then
     simlint
     simsem
     simrace
+    simperf
     if command -v mypy > /dev/null 2>&1; then
         echo "== mypy =="
         mypy

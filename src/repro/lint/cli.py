@@ -6,8 +6,11 @@ applies the mechanically safe fixes in place and reports what is left.
 ``--sem`` additionally runs simsem, the cross-module semantic pass
 (SIM011–SIM015, see :mod:`repro.lint.sem`); ``--race`` additionally
 runs simrace, the same-instant race pass (SIM016–SIM018, see
-:mod:`repro.lint.race`).  Both share one whole-program summary pass, so
-``--sem --race`` costs a single analysis.  Per-file summaries are
+:mod:`repro.lint.race`); ``--perf`` additionally runs simperf, the
+hot-path performance pass (SIM019–SIM023, see :mod:`repro.lint.perf`;
+``--from-telemetry`` feeds recorded ``repro.obs`` JSONL to the SIM022
+registry-drift check).  All share one whole-program summary pass, so
+``--sem --race --perf`` costs a single analysis.  Per-file summaries are
 cached under ``--sem-cache`` (content-addressed; safe to persist across
 runs and in CI), and ``--baseline`` ratchets legacy findings so new
 code is held to zero while old findings burn down.
@@ -26,10 +29,12 @@ import json
 import os
 import subprocess
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence, Set
 
 from repro.lint.core import Analyzer, Finding, Rule, iter_python_files
 from repro.lint.fixes import fix_file
+from repro.lint.perf.info import PERF_CODES
 from repro.lint.race.info import RACE_CODES
 from repro.lint.registry import catalog, known_codes, syntactic_rules
 from repro.lint.sarif import findings_to_sarif
@@ -69,12 +74,14 @@ def _selected_codes(
 
 
 def _project_gate(args: argparse.Namespace) -> Set[str]:
-    """Codes the whole-program pass may report, per the --sem/--race flags."""
+    """Codes the whole-program pass may report, per --sem/--race/--perf."""
     gate: Set[str] = set()
     if args.sem:
         gate.update(SEM_CODES)
     if args.race:
         gate.update(RACE_CODES)
+    if args.perf:
+        gate.update(PERF_CODES)
     return gate
 
 
@@ -114,16 +121,40 @@ def _changed_files(parser: argparse.ArgumentParser) -> Set[str]:
     }
 
 
+_KIND_FLAGS = {"semantic": " (--sem)", "race": " (--race)", "perf": " (--perf)"}
+
+
 def _rule_listing() -> str:
-    markers = {"semantic": " (--sem)", "race": " (--race)"}
     lines = ["simlint rules (see LINTING.md for the full catalog):"]
     for entry in catalog():
-        marker = markers.get(entry.kind, "")
+        marker = _KIND_FLAGS.get(entry.kind, "")
+        fix = " [--fix]" if entry.fixable else ""
         lines.append(
-            f"  {entry.code}  {entry.name:<24} [{entry.severity.value}]{marker}"
+            f"  {entry.code}  {entry.name:<26} "
+            f"[{entry.rung}/{entry.severity.value}]{fix}{marker}"
         )
         lines.append(f"         {entry.rationale}")
     return "\n".join(lines)
+
+
+def _rule_listing_json() -> str:
+    return json.dumps(
+        {
+            "rules": [
+                {
+                    "code": entry.code,
+                    "name": entry.name,
+                    "rung": entry.rung,
+                    "kind": entry.kind,
+                    "severity": entry.severity.value,
+                    "fixable": entry.fixable,
+                    "rationale": entry.rationale,
+                }
+                for entry in catalog()
+            ]
+        },
+        indent=2,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also run the same-instant race pass "
                           "(SIM016-SIM018); shares the summary pass "
                           "with --sem")
+    sem.add_argument("--perf", action="store_true",
+                     help="also run the hot-path performance pass "
+                          "(SIM019-SIM023); shares the summary pass "
+                          "with --sem/--race")
+    sem.add_argument("--from-telemetry", metavar="FILE",
+                     help="recorded repro.obs telemetry JSONL for the "
+                          "SIM022 registry-drift check (requires --perf)")
     sem.add_argument("--baseline", metavar="FILE",
                      help="ratchet file: suppress up to the baselined "
                           "count of whole-program findings per (path, code)")
@@ -187,10 +225,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.list_rules:
-        print(_rule_listing())
+        if args.format == "sarif":
+            parser.error("--list-rules supports text or json, not sarif")
+        print(
+            _rule_listing_json() if args.format == "json" else _rule_listing()
+        )
         return 0
-    if (args.baseline or args.write_baseline) and not (args.sem or args.race):
-        parser.error("--baseline/--write-baseline require --sem or --race")
+    if (args.baseline or args.write_baseline) and not (
+        args.sem or args.race or args.perf
+    ):
+        parser.error(
+            "--baseline/--write-baseline require --sem, --race or --perf"
+        )
+    if args.from_telemetry and not args.perf:
+        parser.error("--from-telemetry requires --perf")
     paths = list(args.paths)
     if not paths:
         if os.path.isdir(DEFAULT_TARGET):
@@ -225,7 +273,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache = None
         if not args.no_sem_cache:
             cache = SummaryCache(args.sem_cache)
-        project = ProjectAnalyzer(cache=cache, race=args.race)
+        project = ProjectAnalyzer(
+            cache=cache,
+            race=args.race,
+            perf=args.perf,
+            telemetry=(
+                Path(args.from_telemetry) if args.from_telemetry else None
+            ),
+        )
         sem_findings = [
             f
             for f in project.analyze_paths(paths)

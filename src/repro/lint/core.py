@@ -125,6 +125,8 @@ class Rule:
     severity: Severity = Severity.ERROR
     #: One-line rationale shown by ``--list-rules`` and used in docs.
     rationale: str = ""
+    #: Whether the rule attaches mechanically safe fixes (``--fix``).
+    fixable: bool = False
     node_types: Tuple[Type[ast.AST], ...] = ()
     allowed_path_suffixes: Tuple[str, ...] = ()
     excluded_path_parts: Tuple[str, ...] = ()

@@ -1,0 +1,119 @@
+"""The active allocation-monitor registry: how the sanitizer is enabled.
+
+Identical contract to :mod:`repro.lint.race.hooks` (and the validator /
+profiler registries before it): this module is dependency-free — the
+monitor class is imported lazily, tracemalloc only starts once a monitor
+actually materializes — so :class:`repro.net.Network` can consult it at
+construction time without import cycles, and the engine's hot loop pays
+exactly one aliased ``is None`` branch when no monitor is attached.
+
+Activation paths:
+
+* explicitly, via :func:`activate` or the :func:`alloc_monitoring`
+  context manager (what the tests and ``python -m repro.lint.perf`` use);
+* ambiently, via ``REPRO_ALLOC=1`` in the environment: the first
+  :func:`active_alloc_monitor` call lazily creates one shared
+  process-wide monitor (``REPRO_ALLOC_LOG=<path>`` streams per-function
+  allocation records to JSONL) and every subsequently constructed
+  ``Network`` attaches it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker, types only
+    from repro.lint.perf.runtime import AllocMonitor
+
+_ENV_ALLOC = "REPRO_ALLOC"
+_ENV_ALLOC_LOG = "REPRO_ALLOC_LOG"
+
+#: Stack of explicitly active monitors; the top one receives new sims.
+_ACTIVE: List["AllocMonitor"] = []
+
+#: The lazily created environment-requested monitor (shared per process).
+_ENV_MONITOR: Optional["AllocMonitor"] = None
+
+
+def activate(monitor: "AllocMonitor") -> None:
+    """Push ``monitor``: networks constructed from now on attach to it."""
+    _ACTIVE.append(monitor)
+
+
+def deactivate(monitor: Optional["AllocMonitor"] = None) -> None:
+    """Pop the innermost monitor (must match ``monitor`` when given)."""
+    if not _ACTIVE:
+        raise RuntimeError("no allocation monitor is active")
+    top = _ACTIVE.pop()
+    if monitor is not None and top is not monitor:
+        _ACTIVE.append(top)
+        raise RuntimeError(
+            "deactivate() out of order: not the innermost monitor"
+        )
+
+
+def alloc_requested() -> bool:
+    """Whether the allocation sanitizer should be on for this process."""
+    if _ACTIVE:
+        return True
+    return os.environ.get(_ENV_ALLOC, "") not in ("", "0")
+
+
+def active_alloc_monitor() -> Optional["AllocMonitor"]:
+    """The monitor new simulators should attach to, or ``None``.
+
+    Explicit activation wins; otherwise ``REPRO_ALLOC`` materializes one
+    shared monitor on first use.  Returning ``None`` is the common case
+    and must stay cheap — it is consulted once per ``Network``.
+    """
+    global _ENV_MONITOR
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    if os.environ.get(_ENV_ALLOC, "") in ("", "0"):
+        return None
+    if _ENV_MONITOR is None:
+        from repro.lint.perf.runtime import AllocMonitor
+
+        _ENV_MONITOR = AllocMonitor(
+            log_path=os.environ.get(_ENV_ALLOC_LOG) or None
+        )
+    return _ENV_MONITOR
+
+
+@contextlib.contextmanager
+def alloc_monitoring(
+    monitor: Optional["AllocMonitor"] = None,
+) -> Iterator["AllocMonitor"]:
+    """Run a block with an active allocation monitor.
+
+    Usage::
+
+        with alloc_monitoring() as monitor:
+            net = build_single_bottleneck(...)
+            net.sim.run(until=0.4)
+        stats = monitor.stats
+
+    On exit the monitor's tracemalloc tracing is released (if the
+    monitor started it).
+    """
+    if monitor is None:
+        from repro.lint.perf.runtime import AllocMonitor
+
+        monitor = AllocMonitor()
+    activate(monitor)
+    try:
+        yield monitor
+    finally:
+        deactivate(monitor)
+        monitor.close()
+
+
+__all__ = [
+    "activate",
+    "deactivate",
+    "active_alloc_monitor",
+    "alloc_monitoring",
+    "alloc_requested",
+]

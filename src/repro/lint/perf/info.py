@@ -1,0 +1,74 @@
+"""Rule metadata for simperf (SIM019–SIM023).
+
+Kept import-light (no analyzer, no tracemalloc) so the CLI and the rule
+registry can enumerate the catalog without paying for the join pass.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.lint.core import Severity
+from repro.lint.sem.info import SemRuleInfo
+
+PERF_RULE_INFOS: Tuple[SemRuleInfo, ...] = (
+    SemRuleInfo(
+        code="SIM019",
+        name="hot-path-allocation",
+        severity=Severity.ERROR,
+        rationale=(
+            "An allocation site (constructor call, display, comprehension, "
+            "f-string, str concat, lambda/closure) inside a function "
+            "registered in hotpaths.toml; PR 6's allocation-free fast "
+            "paths regress silently otherwise.  Waive a deliberate site "
+            "with `# simperf: allow-alloc(<reason>)`."
+        ),
+    ),
+    SemRuleInfo(
+        code="SIM020",
+        name="unhoisted-attr-chain",
+        severity=Severity.WARNING,
+        rationale=(
+            "An attribute chain two or more hops deep resolved repeatedly "
+            "inside a loop of a hot function; pre-bind it to a local "
+            "(the Link._rebind idiom) so each event pays one LOAD_FAST."
+        ),
+    ),
+    SemRuleInfo(
+        code="SIM021",
+        name="hot-calls-allocating-callee",
+        severity=Severity.WARNING,
+        rationale=(
+            "A hot function calls a non-hot callee whose summary records "
+            "unwaived allocation sites — the allocation is one hop away "
+            "and invisible to SIM019.  Register the callee as hot, hoist "
+            "the call, or waive the call line with allow-alloc."
+        ),
+    ),
+    SemRuleInfo(
+        code="SIM022",
+        name="hot-registry-drift",
+        severity=Severity.ERROR,
+        rationale=(
+            "A function exceeds the wall-time share threshold in recorded "
+            "repro.obs telemetry but is absent from hotpaths.toml, so "
+            "none of the hot-path rules protect it; add it to the "
+            "registry (closes the profiler->analyzer loop)."
+        ),
+    ),
+    SemRuleInfo(
+        code="SIM023",
+        name="hot-path-dynamic-call",
+        severity=Severity.WARNING,
+        rationale=(
+            "A call in a hot function that defeats CPython's fast calling "
+            "convention: **kwargs / *args unpacking (builds a dict or "
+            "tuple per event) or an explicit dunder call routed through "
+            "the slow lookup path."
+        ),
+    ),
+)
+
+PERF_CODES: FrozenSet[str] = frozenset(info.code for info in PERF_RULE_INFOS)
+
+__all__ = ["PERF_CODES", "PERF_RULE_INFOS"]

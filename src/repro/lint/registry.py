@@ -10,7 +10,7 @@ docs — build from here:
   instances (SIM001–SIM010), what :class:`~repro.lint.core.Analyzer`
   runs per file;
 * :func:`known_codes` — every valid code for ``--select``/``--ignore``,
-  optionally including the semantic codes SIM011–SIM015;
+  optionally including the whole-program codes SIM011–SIM023;
 * :func:`catalog` — uniform entries for every code, in code order, for
   ``--list-rules`` and LINTING.md cross-checks.
 """
@@ -21,9 +21,18 @@ from dataclasses import dataclass
 from typing import FrozenSet, List
 
 from repro.lint.core import Rule, Severity
+from repro.lint.perf.info import PERF_CODES, PERF_RULE_INFOS
 from repro.lint.race.info import RACE_CODES, RACE_RULE_INFOS
 from repro.lint.rules import RULE_CLASSES, all_rules
 from repro.lint.sem.info import SEM_CODES, SEM_RULE_INFOS
+
+#: Analysis-ladder rung per catalog kind, for ``--list-rules`` display.
+KIND_RUNGS = {
+    "syntactic": "simlint",
+    "semantic": "simsem",
+    "race": "simrace",
+    "perf": "simperf",
+}
 
 
 @dataclass(frozen=True)
@@ -34,9 +43,16 @@ class CatalogEntry:
     name: str
     severity: Severity
     rationale: str
-    #: "syntactic" (per-file Rule), "semantic" (simsem whole-program) or
-    #: "race" (simrace whole-program).
+    #: "syntactic" (per-file Rule), "semantic" (simsem whole-program),
+    #: "race" (simrace whole-program) or "perf" (simperf whole-program).
     kind: str
+    #: Whether ``--fix`` can rewrite this rule's findings.
+    fixable: bool = False
+
+    @property
+    def rung(self) -> str:
+        """The analysis-ladder rung that implements the rule."""
+        return KIND_RUNGS[self.kind]
 
 
 def syntactic_rules() -> List[Rule]:
@@ -50,11 +66,12 @@ def known_codes(include_sem: bool = True) -> FrozenSet[str]:
     if include_sem:
         codes.update(SEM_CODES)
         codes.update(RACE_CODES)
+        codes.update(PERF_CODES)
     return frozenset(codes)
 
 
 def catalog() -> List[CatalogEntry]:
-    """All rules — syntactic and semantic — as uniform entries."""
+    """All rules — syntactic and whole-program — as uniform entries."""
     entries = [
         CatalogEntry(
             code=cls.code,
@@ -62,31 +79,33 @@ def catalog() -> List[CatalogEntry]:
             severity=cls.severity,
             rationale=cls.rationale,
             kind="syntactic",
+            fixable=cls.fixable,
         )
         for cls in RULE_CLASSES
     ]
-    entries.extend(
-        CatalogEntry(
-            code=info.code,
-            name=info.name,
-            severity=info.severity,
-            rationale=info.rationale,
-            kind="semantic",
+    for kind, infos in (
+        ("semantic", SEM_RULE_INFOS),
+        ("race", RACE_RULE_INFOS),
+        ("perf", PERF_RULE_INFOS),
+    ):
+        entries.extend(
+            CatalogEntry(
+                code=info.code,
+                name=info.name,
+                severity=info.severity,
+                rationale=info.rationale,
+                kind=kind,
+            )
+            for info in infos
         )
-        for info in SEM_RULE_INFOS
-    )
-    entries.extend(
-        CatalogEntry(
-            code=info.code,
-            name=info.name,
-            severity=info.severity,
-            rationale=info.rationale,
-            kind="race",
-        )
-        for info in RACE_RULE_INFOS
-    )
     entries.sort(key=lambda entry: entry.code)
     return entries
 
 
-__all__ = ["CatalogEntry", "catalog", "known_codes", "syntactic_rules"]
+__all__ = [
+    "CatalogEntry",
+    "KIND_RUNGS",
+    "catalog",
+    "known_codes",
+    "syntactic_rules",
+]

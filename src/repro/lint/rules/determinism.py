@@ -61,6 +61,7 @@ class UnseededRandomRule(Rule):
         "unseeded RNGs break bit-for-bit replay; use "
         "repro.sim.random.RandomStreams or a seed-constructed random.Random"
     )
+    fixable = True
     node_types = (ast.Call, ast.ImportFrom)
     # The one module that owns RNG construction may do as it likes.
     allowed_path_suffixes = ("repro/sim/random.py",)

@@ -199,6 +199,7 @@ class MagicUnitLiteralRule(Rule):
         "a bare number in a rate/delay argument hides its unit; "
         "repro.sim.units conversions make Gbps-vs-bps bugs impossible"
     )
+    fixable = True
     node_types = (ast.Call,)
     excluded_path_parts = ("tests/", "benchmarks/")
 

@@ -93,6 +93,7 @@ class SwallowedExceptionRule(Rule):
         "a bare/broad silent handler can eat InvariantError or a worker "
         "crash, turning a loud violation into silently wrong results"
     )
+    fixable = True
     node_types = (ast.ExceptHandler,)
 
     def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:

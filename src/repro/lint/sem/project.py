@@ -149,6 +149,9 @@ class ProjectAnalyzer:
         registry: Optional[SinkRegistry] = None,
         cache: Optional[SummaryCache] = None,
         race: bool = False,
+        perf: bool = False,
+        telemetry: Optional[Path] = None,
+        hotpaths: Optional[Any] = None,
     ) -> None:
         self.registry = registry if registry is not None else SinkRegistry.load()
         self.cache = cache
@@ -157,6 +160,17 @@ class ProjectAnalyzer:
         #: always carry the race facts, so enabling this costs only the
         #: extra join work.
         self.race = race
+        #: Also run the simperf join checks (SIM019–SIM023); the v4
+        #: summaries always carry the cost records, same deal as race.
+        self.perf = perf
+        #: Recorded ``repro.obs`` telemetry JSONL for the SIM022
+        #: registry-drift check (``--from-telemetry``); only consulted
+        #: when ``perf`` is on.
+        self.telemetry = telemetry
+        #: A :class:`~repro.lint.perf.hotpaths.HotPathRegistry` override
+        #: for the perf join (fixture projects carry their own); ``None``
+        #: means the checked-in ``hotpaths.toml``.
+        self.hotpaths = hotpaths
         self.stats = SemStats()
 
     # -- phase 1 ----------------------------------------------------------
@@ -217,6 +231,17 @@ class ProjectAnalyzer:
             from repro.lint.race.analyzer import check_races
 
             findings.extend(check_races(program.summaries))
+        if self.perf:
+            # Same lazy-import contract as the race join above.
+            from repro.lint.perf.analyzer import check_perf
+
+            findings.extend(
+                check_perf(
+                    program.summaries,
+                    registry=self.hotpaths,
+                    telemetry=self.telemetry,
+                )
+            )
         findings = self._apply_suppressions(program, findings)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
         return findings

@@ -31,6 +31,7 @@ summary round-trips through JSON:
 from __future__ import annotations
 
 import ast
+import builtins
 import re
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
@@ -42,7 +43,11 @@ from repro.sim.units import ANNOTATION_DIMENSIONS, CONSTRUCTOR_DIMENSIONS
 #: v3: per-function self read/write sets, scheduler-call records
 #: (``sched_calls``) and self-receiver call marking, for simrace
 #: (:mod:`repro.lint.race`).
-SUMMARY_VERSION = 3
+#: v4: per-function ``cost`` records (allocation sites, in-loop global
+#: loads, repeated attribute chains, kwargs/dunder call shapes, try
+#: inside loops) and the ``# simperf: allow-alloc(...)`` pragma map, for
+#: simperf (:mod:`repro.lint.perf`).
+SUMMARY_VERSION = 4
 
 UNITS_MODULE = "repro.sim.units"
 RANDOM_STREAMS = "repro.sim.random.RandomStreams"
@@ -87,6 +92,13 @@ _SEED_TRANSPARENT_CALLS = frozenset(
 )
 
 _SEEDISH_NAME_RE = re.compile(r"seed|^rng$|^streams$|^stream$")
+
+#: ``# simperf: allow-alloc(<reason>)`` — the simperf allocation waiver.
+#: The reason is mandatory: an empty parenthesis records nothing, so the
+#: finding still fires.  Captured per line into the summary so the perf
+#: join pass (and the runtime sanitizer's cross-check) can honor it
+#: without re-reading the file.
+PERF_PRAGMA_RE = re.compile(r"#\s*simperf:\s*allow-alloc\(([^)]*)\)")
 
 
 def _absval_dim(dimension: str) -> Dict[str, Any]:
@@ -226,6 +238,256 @@ def _numeric_literal(expr: ast.expr) -> Optional[float]:
 
 def _loc(node: ast.AST) -> Tuple[int, int]:
     return int(getattr(node, "lineno", 1)), int(getattr(node, "col_offset", 0))
+
+
+# ---------------------------------------------------------------------------
+# v4 cost records (simperf's raw material)
+# ---------------------------------------------------------------------------
+
+#: Python-level names recognized by name as allocating a fresh object.
+_ALLOC_BUILTINS = frozenset(
+    {
+        "list", "dict", "set", "tuple", "frozenset", "bytearray", "bytes",
+        "str", "range", "sorted", "reversed", "enumerate", "zip", "map",
+        "filter", "vars", "deque", "defaultdict", "namedtuple", "array",
+        "copy", "deepcopy",
+    }
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def _callee_text(func: ast.expr) -> str:
+    """Compact display text for a call's callee (for cost records)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        base = _callee_text(func.value)
+        return f"{base}.{func.attr}" if base else func.attr
+    return ""
+
+
+def _is_alloc_call(func: ast.expr) -> bool:
+    """Heuristic: does calling this callee allocate a fresh object?
+
+    Capitalized terminals are constructors by convention (``Event``,
+    ``units.Seconds``); a small closed set of lowercase builtins
+    (``list``, ``range``, ``deque``, …) allocates too.  Plain method and
+    function calls are *not* allocations here — SIM021 handles the
+    transitive case through summaries instead of guessing.
+    """
+    terminal: Optional[str] = None
+    if isinstance(func, ast.Name):
+        terminal = func.id
+    elif isinstance(func, ast.Attribute):
+        terminal = func.attr
+    if terminal is None:
+        return False
+    if terminal in _ALLOC_BUILTINS:
+        return True
+    return terminal[:1].isupper() and not terminal.isupper()
+
+
+def _attr_chain(node: ast.Attribute) -> Optional[Tuple[str, int]]:
+    """``(dotted text, depth)`` of a Name-rooted attribute chain.
+
+    Depth counts attribute hops: ``self.x`` is 1, ``self._queue.pop``
+    is 2.  Chains rooted in anything but a plain name (a call result, a
+    subscript) return ``None`` — they cannot be hoisted by pre-binding.
+    """
+    parts: List[str] = []
+    cursor: ast.expr = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    parts.reverse()
+    return ".".join(parts), len(parts) - 1
+
+
+def _function_local_names(node: ast.AST) -> Set[str]:
+    """Names bound inside the function: params, assignments, imports,
+    ``for``/``with``/``except`` targets, nested def/class names."""
+    names: Set[str] = set()
+    args = getattr(node, "args", None)
+    if args is not None:
+        for group in ("posonlyargs", "args", "kwonlyargs"):
+            names.update(a.arg for a in getattr(args, group, []))
+        for special in (args.vararg, args.kwarg):
+            if special is not None:
+                names.add(special.arg)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store, ast.Del)):
+            names.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if sub is not node:
+                names.add(sub.name)
+        elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+            for alias in sub.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            names.add(sub.name)
+        elif isinstance(sub, (ast.Global, ast.Nonlocal)):
+            names.difference_update(sub.names)
+    return names
+
+
+def _collect_cost(node: ast.AST) -> Dict[str, Any]:
+    """The v4 per-function cost record.
+
+    Everything simperf's join pass needs to reason about a function's
+    datapath cost without re-parsing it:
+
+    * ``allocs`` — object-allocation sites (constructor calls, container
+      displays, comprehensions/genexps, f-strings and str ``+``-concat,
+      lambda/closure creation), each ``{kind, line, col, detail,
+      in_loop}``;
+    * ``global_loads`` — module-global name loads *inside loops* (each a
+      dict lookup per iteration that a local alias would hoist);
+    * ``attr_chains`` — Name-rooted attribute chains of depth >= 2
+      inside loops, aggregated ``{chain, count, line, col}`` (first
+      occurrence position);
+    * ``kwargs_calls`` — ``**kwargs`` / ``*args`` unpacking and explicit
+      dunder-method call sites, each ``{kind, line, col, callee}``;
+    * ``try_in_loop`` — ``try`` statements inside loops (setup cost per
+      iteration), each ``{line, col}``.
+
+    ``in_loop`` nests through loop *bodies* only: a ``for`` iterable is
+    evaluated once and does not count.
+    """
+    allocs: List[Dict[str, Any]] = []
+    global_loads: List[Dict[str, Any]] = []
+    chains: Dict[str, Dict[str, Any]] = {}
+    kwargs_calls: List[Dict[str, Any]] = []
+    try_in_loop: List[Dict[str, Any]] = []
+    local_names = _function_local_names(node)
+
+    def record_alloc(kind: str, n: ast.AST, detail: str, in_loop: bool) -> None:
+        line, col = _loc(n)
+        allocs.append(
+            {"kind": kind, "line": line, "col": col, "detail": detail,
+             "in_loop": in_loop}
+        )
+
+    def visit(n: ast.AST, in_loop: bool, chain_parent: bool) -> None:
+        is_chain_parent = False
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if n is not node:
+                record_alloc("closure", n, n.name, in_loop)
+                return  # nested defs are scanned as their own functions
+        elif isinstance(n, ast.Lambda):
+            record_alloc("lambda", n, "lambda", in_loop)
+            return
+        elif isinstance(n, ast.Call):
+            if _is_alloc_call(n.func):
+                record_alloc("call", n, _callee_text(n.func), in_loop)
+            if any(keyword.arg is None for keyword in n.keywords):
+                line, col = _loc(n)
+                kwargs_calls.append(
+                    {"kind": "kwargs", "line": line, "col": col,
+                     "callee": _callee_text(n.func)}
+                )
+            elif any(isinstance(arg, ast.Starred) for arg in n.args):
+                line, col = _loc(n)
+                kwargs_calls.append(
+                    {"kind": "star-args", "line": line, "col": col,
+                     "callee": _callee_text(n.func)}
+                )
+            if (
+                isinstance(n.func, ast.Attribute)
+                and n.func.attr.startswith("__")
+                and n.func.attr.endswith("__")
+            ):
+                line, col = _loc(n)
+                kwargs_calls.append(
+                    {"kind": "dunder", "line": line, "col": col,
+                     "callee": _callee_text(n.func)}
+                )
+        elif isinstance(n, (ast.ListComp, ast.SetComp, ast.DictComp,
+                            ast.GeneratorExp)):
+            kind = {
+                ast.ListComp: "listcomp", ast.SetComp: "setcomp",
+                ast.DictComp: "dictcomp", ast.GeneratorExp: "genexp",
+            }[type(n)]
+            record_alloc("comprehension", n, kind, in_loop)
+        elif isinstance(n, (ast.List, ast.Set, ast.Dict)):
+            detail = type(n).__name__.lower()
+            record_alloc("display", n, detail, in_loop)
+        elif isinstance(n, ast.Tuple) and isinstance(n.ctx, ast.Load):
+            record_alloc("display", n, "tuple", in_loop)
+        elif isinstance(n, ast.JoinedStr):
+            record_alloc("fstring", n, "f-string", in_loop)
+        elif isinstance(n, ast.BinOp) and isinstance(n.op, ast.Add):
+            if any(
+                isinstance(side, ast.JoinedStr)
+                or (isinstance(side, ast.Constant) and isinstance(side.value, str))
+                for side in (n.left, n.right)
+            ):
+                record_alloc("str-concat", n, "+", in_loop)
+        elif isinstance(n, ast.Try) and in_loop:
+            line, col = _loc(n)
+            try_in_loop.append({"line": line, "col": col})
+        elif isinstance(n, ast.Attribute):
+            is_chain_parent = True
+            if in_loop and not chain_parent and isinstance(n.ctx, ast.Load):
+                resolved = _attr_chain(n)
+                if resolved is not None and resolved[1] >= 2:
+                    chain_text = resolved[0]
+                    line, col = _loc(n)
+                    entry = chains.get(chain_text)
+                    if entry is None:
+                        chains[chain_text] = {
+                            "chain": chain_text, "count": 1,
+                            "line": line, "col": col,
+                        }
+                    else:
+                        entry["count"] = int(entry["count"]) + 1
+        elif isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load):
+            if (
+                in_loop
+                and n.id not in local_names
+                and n.id not in _BUILTIN_NAMES
+            ):
+                line, col = _loc(n)
+                global_loads.append({"name": n.id, "line": line, "col": col})
+
+        if isinstance(n, ast.AnnAssign):
+            # The annotation itself is not evaluated per call (and under
+            # ``from __future__ import annotations`` never at all); only
+            # the assigned value costs anything.
+            if n.value is not None:
+                visit(n.value, in_loop, False)
+            return
+        if isinstance(n, (ast.For, ast.AsyncFor)):
+            visit(n.target, in_loop, False)
+            visit(n.iter, in_loop, False)
+            for stmt in n.body + n.orelse:
+                visit(stmt, True, False)
+            return
+        if isinstance(n, ast.While):
+            visit(n.test, True, False)
+            for stmt in n.body + n.orelse:
+                visit(stmt, True, False)
+            return
+        for child in ast.iter_child_nodes(n):
+            visit(child, in_loop, is_chain_parent)
+
+    # Only the body executes per call: parameter annotations, defaults,
+    # the return annotation and decorators all evaluate at def time.
+    for child in getattr(node, "body", []):
+        visit(child, False, False)
+
+    return {
+        "allocs": allocs,
+        "global_loads": global_loads,
+        "attr_chains": sorted(
+            chains.values(), key=lambda c: (int(c["line"]), int(c["col"]))
+        ),
+        "kwargs_calls": kwargs_calls,
+        "try_in_loop": try_in_loop,
+    }
 
 
 class _FunctionScanner:
@@ -870,6 +1132,7 @@ def build_summary(path: str, source: str) -> Dict[str, Any]:
             "handler_defs": [],
             "refs": [],
             "suppressions": {},
+            "perf_pragmas": {},
             "local_findings": [
                 ["SIM000", exc.lineno or 1, (exc.offset or 1) - 1,
                  f"syntax error: {exc.msg}"]
@@ -940,6 +1203,7 @@ def build_summary(path: str, source: str) -> Dict[str, Any]:
             "sched_calls": scanner.sched_calls,
             "self_reads": sorted(scanner.self_reads),
             "self_writes": sorted(scanner.self_writes),
+            "cost": _collect_cost(node),
         }
         local_findings.extend(
             [code, line, col, message]
@@ -990,6 +1254,12 @@ def build_summary(path: str, source: str) -> Dict[str, Any]:
         for line, codes in suppressions._by_line.items()
     }
 
+    perf_pragmas: Dict[str, str] = {}
+    for lineno, line_text in enumerate(source.splitlines(), start=1):
+        pragma = PERF_PRAGMA_RE.search(line_text)
+        if pragma is not None and pragma.group(1).strip():
+            perf_pragmas[str(lineno)] = pragma.group(1).strip()
+
     return {
         "version": SUMMARY_VERSION,
         "path": posix,
@@ -1004,11 +1274,13 @@ def build_summary(path: str, source: str) -> Dict[str, Any]:
         "handler_defs": handler_defs,
         "refs": sorted(_identifier_refs(tree)),
         "suppressions": suppression_map,
+        "perf_pragmas": perf_pragmas,
         "local_findings": local_findings,
     }
 
 
 __all__ = [
+    "PERF_PRAGMA_RE",
     "SUMMARY_VERSION",
     "HANDLER_NAME_RE",
     "build_summary",

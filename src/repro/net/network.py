@@ -14,6 +14,7 @@ from repro.net.link import Link
 from repro.net.node import Host, Node, Switch
 from repro.net.queue import DropTailQueue
 from repro.net.routing import Path, enumerate_paths
+from repro.lint.perf.hooks import active_alloc_monitor
 from repro.lint.race.hooks import active_race_monitor
 from repro.obs.hooks import active_profiler
 from repro.sim.engine import Simulator
@@ -44,6 +45,9 @@ class Network:
         race = active_race_monitor()
         if race is not None:
             race.attach(self.sim)
+        alloc = active_alloc_monitor()
+        if alloc is not None:
+            alloc.attach(self.sim)
 
     # ------------------------------------------------------------------
     # Construction

@@ -38,8 +38,8 @@ class Node:
         """
         hop = packet.hop
         if hop >= len(packet.path):
-            raise RuntimeError(
-                f"{self.name}: packet has no next hop ({packet!r})"
+            raise RuntimeError(  # simperf: allow-alloc(unreachable error path)
+                f"{self.name}: packet has no next hop ({packet!r})"  # simperf: allow-alloc(error path)
             )
         link = packet.path[hop]
         packet.hop = hop + 1
@@ -65,8 +65,8 @@ class Switch(Node):
         hop = packet.hop
         path = packet.path
         if hop >= len(path):
-            raise RuntimeError(
-                f"{self.name}: packet has no next hop ({packet!r})"
+            raise RuntimeError(  # simperf: allow-alloc(unreachable error path)
+                f"{self.name}: packet has no next hop ({packet!r})"  # simperf: allow-alloc(error path)
             )
         packet.hop = hop + 1
         link = path[hop]
@@ -117,7 +117,7 @@ class Host(Node):
             # Hosts can also relay (multihomed testbed nodes).
             self.forward(packet)
             return
-        handler = self._endpoints.get((packet.flow, packet.subflow))
+        handler = self._endpoints.get((packet.flow, packet.subflow))  # simperf: allow-alloc(dict-key tuple; no interning possible)
         if handler is None:
             self.packets_unclaimed += 1
             return

@@ -154,6 +154,14 @@ class Simulator:
         #: batches.  Purely observational; ``None`` (the default) keeps the
         #: leanest loop in play — the same zero-cost contract as above.
         self.race: Optional[Any] = None
+        #: Optional allocation sanitizer (see :mod:`repro.lint.perf`):
+        #: when set, ``alloc.on_event_fired(time, priority, callback)`` /
+        #: ``alloc.on_event_settled()`` bracket every fired callback so
+        #: the monitor can attribute tracemalloc peak deltas to
+        #: registered hot functions.  Purely observational; ``None``
+        #: (the default) keeps the leanest loop in play — the fourth
+        #: seam under the same zero-cost contract.
+        self.alloc: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -235,14 +243,14 @@ class Simulator:
             # fails every comparison, and letting it into the ordered
             # tiers would silently corrupt the (time, priority, seq)
             # total order instead of failing loudly here.
-            raise SimulationError(
-                f"delay must be finite and >= 0, got {delay!r}"
+            raise SimulationError(  # simperf: allow-alloc(error path)
+                f"delay must be finite and >= 0, got {delay!r}"  # simperf: allow-alloc(error path)
             )
         time = self._now + delay
         self._seq = seq = self._seq + 1
-        event = Event(time, priority, seq, callback, args)
+        event = Event(time, priority, seq, callback, args)  # simperf: allow-alloc(cancellation handle is the documented cost of schedule; post() is the alloc-free path)
         event.sim = self
-        record = (time, priority, seq, event, callback, args)
+        record = (time, priority, seq, event, callback, args)  # simperf: allow-alloc(calendar-queue record tuple; inherent to scheduling)
         if time < self._run_end:
             insort(self._run, record, self._run_i)
         elif time < self._horizon:
@@ -272,12 +280,12 @@ class Simulator:
         allocation and its back-reference bookkeeping are skipped.
         """
         if not 0.0 <= delay < _INF:
-            raise SimulationError(
-                f"delay must be finite and >= 0, got {delay!r}"
+            raise SimulationError(  # simperf: allow-alloc(error path)
+                f"delay must be finite and >= 0, got {delay!r}"  # simperf: allow-alloc(error path)
             )
         time = self._now + delay
         self._seq = seq = self._seq + 1
-        record = (time, priority, seq, None, callback, args)
+        record = (time, priority, seq, None, callback, args)  # simperf: allow-alloc(calendar-queue record tuple; inherent to scheduling)
         if time < self._run_end:
             insort(self._run, record, self._run_i)
         elif time < self._horizon:
@@ -476,7 +484,7 @@ class Simulator:
             The simulation time when the loop stopped.
         """
         if self._running:
-            raise SimulationError("run() is not reentrant")
+            raise SimulationError("run() is not reentrant")  # simperf: allow-alloc(error path, checked once per run)
         self._running = True
         self._stopped = False
         stop_time = _INF if until is None else until
@@ -484,6 +492,7 @@ class Simulator:
         observer = self.observer
         profiler = self.profiler
         race = self.race
+        alloc = self.alloc
         # The profiler supplies its own host clock: repro.sim never reads
         # wall time itself (simlint SIM002), it only times on request.
         clock: Optional[Callable[[], float]] = (
@@ -498,7 +507,7 @@ class Simulator:
         try:
             if (
                 observer is None and clock is None and max_events is None
-                and race is None
+                and race is None and alloc is None
             ):
                 # Leanest loop: the default configuration for experiments
                 # (no hooks, no event budget).  Identical semantics minus
@@ -510,7 +519,7 @@ class Simulator:
                     try:
                         record = run[i]
                     except IndexError:
-                        if self._promote():
+                        if self._promote():  # simperf: allow-alloc(amortized: one rebuild per calendar batch)
                             continue
                         exhausted = True
                         break
@@ -531,13 +540,16 @@ class Simulator:
                     self._now = time
                     args = record[5]
                     if args:
-                        record[4](*args)
+                        record[4](*args)  # simlint: disable=SIM023 - unpacking an existing tuple is the fast variadic call shape
                     else:
                         record[4]()
                     self._events_processed += 1
                     if self._stopped:
                         break
-            elif observer is None and clock is None and race is None:
+            elif (
+                observer is None and clock is None and race is None
+                and alloc is None
+            ):
                 # Lean loop with an event budget (max_events).
                 while True:
                     i = self._run_i
@@ -545,7 +557,7 @@ class Simulator:
                     try:
                         record = run[i]
                     except IndexError:
-                        if self._promote():
+                        if self._promote():  # simperf: allow-alloc(amortized: one rebuild per calendar batch)
                             continue
                         exhausted = True
                         break
@@ -566,7 +578,7 @@ class Simulator:
                     self._now = time
                     args = record[5]
                     if args:
-                        record[4](*args)
+                        record[4](*args)  # simlint: disable=SIM023 - unpacking an existing tuple is the fast variadic call shape
                     else:
                         record[4]()
                     self._events_processed += 1
@@ -582,7 +594,7 @@ class Simulator:
                     try:
                         record = run[i]
                     except IndexError:
-                        if self._promote():
+                        if self._promote():  # simperf: allow-alloc(amortized: one rebuild per calendar batch)
                             continue
                         exhausted = True
                         break
@@ -607,13 +619,19 @@ class Simulator:
                         observer.on_event(time)
                     if race is not None:
                         race.on_event_fired(time, record[1], record[4])
+                    # alloc brackets the callback innermost so the
+                    # tracemalloc window excludes the other hooks.
+                    if alloc is not None:
+                        alloc.on_event_fired(time, record[1], record[4])
                     if clock is None:
-                        record[4](*record[5])
+                        record[4](*record[5])  # simlint: disable=SIM023 - unpacking an existing tuple is the fast variadic call shape
                     else:
                         started = clock()
-                        record[4](*record[5])
+                        record[4](*record[5])  # simlint: disable=SIM023 - unpacking an existing tuple is the fast variadic call shape
                         assert profiler is not None
                         profiler.on_fire(record[4], clock() - started)
+                    if alloc is not None:
+                        alloc.on_event_settled()
                     if race is not None:
                         race.on_event_settled()
                     self._events_processed += 1

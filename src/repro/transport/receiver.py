@@ -141,8 +141,9 @@ class Receiver:
             self.segments_received += 1
             self.rcv_nxt += 1
             # Drain any buffered continuation.
-            while self.rcv_nxt in self._out_of_order:
-                self._out_of_order.discard(self.rcv_nxt)
+            buffered = self._out_of_order
+            while self.rcv_nxt in buffered:
+                buffered.discard(self.rcv_nxt)
                 self.rcv_nxt += 1
             if self.on_segment is not None:
                 self.on_segment(self.rcv_nxt)
@@ -180,7 +181,7 @@ class Receiver:
     def _send_ack(self) -> None:
         self._delack_timer.cancel()
         ece_count = self._encode_ece()
-        ack = make_ack_packet(
+        ack = make_ack_packet(  # simperf: allow-alloc(the ACK packet is the payload of this function)
             self.flow,
             self.subflow,
             self.rcv_nxt,
@@ -188,7 +189,7 @@ class Receiver:
             ts_echo=self._earliest_ts,
             path=self.reverse_path,
             ece_count=ece_count,
-            sack=self._sack_blocks() if self.sack_enabled else (),
+            sack=self._sack_blocks() if self.sack_enabled else (),  # simperf: allow-alloc(bounded per-ACK SACK block tuple)
         )
         self._unacked_data = 0
         self.acks_sent += 1

@@ -245,9 +245,10 @@ class TcpSender:
         if not self.running or self.completed:
             return
         window = int(self.cwnd)
+        take = self.source.take
         while self.snd_nxt - self.snd_una < window:
             if self.snd_nxt >= self.assigned:
-                granted = self.source.take(SOURCE_BATCH)
+                granted = take(SOURCE_BATCH)
                 if granted == 0:
                     break
                 self.assigned += granted
@@ -255,7 +256,7 @@ class TcpSender:
             self.snd_nxt += 1
 
     def _transmit(self, seq: int, retransmission: bool) -> None:
-        packet = make_data_packet(
+        packet = make_data_packet(  # simperf: allow-alloc(the DATA packet is the payload of this function)
             self.flow,
             self.subflow,
             seq,
@@ -295,8 +296,9 @@ class TcpSender:
             return
 
         if self.sack_enabled and packet.sack:
+            sacked_update = self._sacked.update
             for block_start, block_end in packet.sack:
-                self._sacked.update(range(block_start, block_end))
+                sacked_update(range(block_start, block_end))  # simperf: allow-alloc(bounded per-ACK SACK range)
 
         newly = ack - self.snd_una
         round_ended = False

@@ -1,0 +1,16 @@
+# simlint-path: src/repro/fixture_perf/s19b/engine.py
+"""Hot function allocating per event (SIM019 bad twin)."""
+
+
+class Pump:
+    def __init__(self):
+        self.seen = 0
+        self.log = []
+
+    def on_event(self, seq):
+        self.seen += 1
+        entry = [seq, self.seen]  # EXPECT: SIM019
+        self.log.append(entry)
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)

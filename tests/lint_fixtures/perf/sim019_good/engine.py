@@ -1,0 +1,23 @@
+# simlint-path: src/repro/fixture_perf/s19g/engine.py
+"""Allocation hoisted off the per-event path (SIM019 good twin).
+
+``on_event`` mutates preallocated state; ``snapshot`` still allocates
+but is waived with an explicit reason, the escape hatch for allocation
+that *is* the function's purpose.
+"""
+
+
+class Pump:
+    def __init__(self):
+        self.seen = 0
+        self.last_seq = 0
+
+    def on_event(self, seq):
+        self.seen += 1
+        self.last_seq = seq
+
+    def snapshot(self):
+        return [self.seen, self.last_seq]  # simperf: allow-alloc(debug snapshot, off the per-event path)
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)

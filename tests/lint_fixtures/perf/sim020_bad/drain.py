@@ -1,0 +1,11 @@
+# simlint-path: src/repro/fixture_perf/s20b/drain.py
+"""Unhoisted attribute chain in a hot loop (SIM020 bad twin)."""
+
+
+class Drain:
+    def __init__(self, queue):
+        self.queue = queue
+
+    def flush(self, items):
+        for item in items:
+            self.queue.push(item)  # EXPECT: SIM020

@@ -1,0 +1,12 @@
+# simlint-path: src/repro/fixture_perf/s20g/drain.py
+"""The chain pre-bound to a local before the loop (SIM020 good twin)."""
+
+
+class Drain:
+    def __init__(self, queue):
+        self.queue = queue
+
+    def flush(self, items):
+        push = self.queue.push
+        for item in items:
+            push(item)

@@ -1,0 +1,14 @@
+# simlint-path: src/repro/fixture_perf/s21b/pump.py
+"""Hot function calling an allocating non-hot callee (SIM021 bad twin)."""
+
+
+def fresh_frame(seq):
+    return {"seq": seq}
+
+
+class Pump:
+    def on_event(self, seq):
+        return fresh_frame(seq)  # EXPECT: SIM021
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)

@@ -1,0 +1,18 @@
+# simlint-path: src/repro/fixture_perf/s21g/pump.py
+"""The callee reuses a preallocated frame (SIM021 good twin)."""
+
+
+def frame_seq(frame):
+    return frame["seq"]
+
+
+class Pump:
+    def __init__(self):
+        self.frame = {"seq": 0}
+
+    def on_event(self, seq):
+        self.frame["seq"] = seq
+        return frame_seq(self.frame)
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)

@@ -1,0 +1,14 @@
+# simlint-path: src/repro/fixture_perf/s22b/pump.py
+"""Telemetry-hot function missing from the registry (SIM022 bad twin).
+
+The sibling ``telemetry.jsonl`` shows ``Pump.on_event`` at 50% of
+callback wall-time; the registry does not mention it.
+"""
+
+
+class Pump:
+    def on_event(self, seq):  # EXPECT: SIM022
+        self.seen = seq
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)

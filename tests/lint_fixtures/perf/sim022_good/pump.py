@@ -1,0 +1,10 @@
+# simlint-path: src/repro/fixture_perf/s22g/pump.py
+"""The telemetry-hot function is registered (SIM022 good twin)."""
+
+
+class Pump:
+    def on_event(self, seq):
+        self.seen = seq
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)

@@ -1,0 +1,21 @@
+# simlint-path: src/repro/fixture_perf/s23b/dispatch.py
+"""Dynamic call shapes in hot functions (SIM023 bad twin): **kwargs
+unpacking, *-unpacking of a freshly built sequence, and an explicit
+dunder call."""
+
+
+class Dispatch:
+    def __init__(self, handler):
+        self.handler = handler
+
+    def on_event(self, options):
+        self.handler(**options)  # EXPECT: SIM023
+
+    def replay(self, args):
+        self.handler(*args)  # EXPECT: SIM023
+
+    def size(self, buf):
+        return buf.__len__()  # EXPECT: SIM023
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)

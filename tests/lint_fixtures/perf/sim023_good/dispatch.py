@@ -1,0 +1,16 @@
+# simlint-path: src/repro/fixture_perf/s23g/dispatch.py
+"""The same dispatch with static call shapes (SIM023 good twin)."""
+
+
+class Dispatch:
+    def __init__(self, handler):
+        self.handler = handler
+
+    def on_event(self, when, seq):
+        self.handler(when, seq)
+
+    def size(self, buf):
+        return len(buf)
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)

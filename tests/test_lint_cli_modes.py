@@ -1,9 +1,10 @@
 """CLI-mode tests for ``python -m repro.lint``: flag interactions.
 
-Covers the gating matrix (``--select`` × ``--sem`` × ``--race``), exit
-codes, SARIF output, ``--changed-only`` git scoping, the baseline
-ratchet over race findings, and corrupt-cache-is-miss for the extended
-(v3) summary schema.
+Covers the gating matrix (``--select`` × ``--sem`` × ``--race`` ×
+``--perf``), exit codes, ``--list-rules`` in both formats, SARIF
+output, ``--changed-only`` git scoping, the baseline ratchet over race
+findings, and corrupt-cache-is-miss for the extended (v3) summary
+schema.
 """
 
 import json
@@ -79,6 +80,90 @@ def test_select_interacts_across_passes(tmp_path):
     assert lint_main(
         ["--race", "--ignore", "SIM002,SIM016", target, "-q"]
     ) == 0
+
+
+HOT_ALLOC_SOURCE = '''\
+class Pump:
+    def __init__(self):
+        self.log = []
+
+    def on_event(self, seq):
+        self.log.append([seq, seq + 1])
+
+    def prime(self, sim):
+        sim.schedule(0.0, self.on_event)
+'''
+
+
+def test_perf_codes_gated_behind_perf_flag(tmp_path, monkeypatch):
+    """A hot-path allocation only reports under --perf — and only when
+    the file lands on a registered hot path, which needs the virtual
+    module to match hotpaths.toml; here we just pin the gating."""
+    (tmp_path / "pump.py").write_text(HOT_ALLOC_SOURCE, encoding="utf-8")
+    target = str(tmp_path)
+    assert lint_main([target, "-q"]) == 0
+    assert lint_main(["--sem", target, "-q"]) == 0
+    assert lint_main(["--perf", target, "-q"]) == 0  # not registered hot
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(["--select", "SIM019", target, "-q"])
+    assert excinfo.value.code == 2
+    assert lint_main(["--select", "SIM019", "--perf", target, "-q"]) == 0
+
+
+def test_from_telemetry_requires_perf_flag(tmp_path):
+    telemetry = tmp_path / "runs.jsonl"
+    telemetry.write_text("", encoding="utf-8")
+    (tmp_path / "ok.py").write_text(CLEAN_SOURCE, encoding="utf-8")
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(
+            ["--from-telemetry", str(telemetry), str(tmp_path), "-q"]
+        )
+    assert excinfo.value.code == 2
+    assert lint_main(
+        ["--perf", "--from-telemetry", str(telemetry), str(tmp_path), "-q"]
+    ) == 0
+
+
+# ----------------------------------------------------------------------
+# --list-rules
+# ----------------------------------------------------------------------
+
+
+def test_list_rules_text_spans_the_ladder(capsys):
+    from repro.lint.registry import catalog
+
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for entry in catalog():
+        assert entry.code in out
+        assert entry.name in out
+    # Each whole-program rule advertises the flag that enables it.
+    assert "(--sem)" in out
+    assert "(--race)" in out
+    assert "(--perf)" in out
+    assert "[--fix]" in out
+
+
+def test_list_rules_json_is_machine_readable(capsys):
+    from repro.lint.registry import catalog
+
+    assert lint_main(["--list-rules", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    rules = payload["rules"]
+    assert [r["code"] for r in rules] == [e.code for e in catalog()]
+    by_code = {r["code"]: r for r in rules}
+    assert by_code["SIM001"]["kind"] == "syntactic"
+    assert by_code["SIM011"]["kind"] == "semantic"
+    assert by_code["SIM016"]["kind"] == "race"
+    assert by_code["SIM019"]["kind"] == "perf"
+    assert by_code["SIM019"]["rung"] == "simperf"
+    for rule in rules:
+        assert set(rule) == {
+            "code", "name", "rung", "kind", "severity", "fixable",
+            "rationale",
+        }
+        assert rule["severity"] in ("error", "warning")
+        assert rule["rationale"].strip()
 
 
 def test_race_findings_in_json_payload(racy_project, capsys):
